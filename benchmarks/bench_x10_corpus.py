@@ -1,0 +1,52 @@
+"""X10 — corpus classification (the 'table' a systems reader expects).
+
+Shape: weakly-acyclic corpora are 100% terminating; sticky corpora decide
+completely (no unknowns — Theorem 6.1 is a decision procedure); guarded
+corpora may contain honest unknowns (the documented MSOL substitution).
+"""
+
+import pytest
+
+from repro import Status, TerminationAnalyzer
+from repro.tgds.generators import GeneratorProfile, corpus
+from conftest import report
+
+# Dense-existential profile so the corpora contain genuinely diverging
+# sets alongside terminating ones.
+PROFILE = GeneratorProfile(
+    num_predicates=2, max_arity=2, num_tgds=3, existential_probability=0.8
+)
+SIZE = 8
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return TerminationAnalyzer(guarded_max_steps=40)
+
+
+def test_shape_corpus_table(analyzer):
+    rows = [("family", "terminating", "diverging", "unknown")]
+    for family in ("linear", "sticky", "guarded", "weakly-acyclic"):
+        tally = analyzer.analyze_corpus(
+            corpus(family, SIZE, base_seed=50, profile=PROFILE)
+        )
+        rows.append(
+            (
+                family,
+                tally[Status.ALL_TERMINATING],
+                tally[Status.NOT_ALL_TERMINATING],
+                tally[Status.UNKNOWN],
+            )
+        )
+        if family == "weakly-acyclic":
+            assert tally[Status.ALL_TERMINATING] == SIZE
+        if family in ("linear", "sticky"):
+            assert tally[Status.UNKNOWN] == 0  # complete procedure
+            assert tally[Status.NOT_ALL_TERMINATING] >= 1  # non-trivial corpus
+    report("X10: verdicts per corpus family", rows)
+
+
+def test_bench_analyze_sticky_corpus(benchmark, analyzer):
+    sets = corpus("sticky", 4, base_seed=50, profile=PROFILE)
+    tally = benchmark(analyzer.analyze_corpus, sets)
+    assert sum(tally.values()) == 4

@@ -1,0 +1,65 @@
+"""X11 — §1: "smaller instances ... at a cost per step".
+
+Shape: on a weakly-acyclic chain workload, the restricted chase produces
+no more atoms than the oblivious chase, while its per-run cost includes
+the active-trigger checks.
+"""
+
+import pytest
+
+from repro import oblivious_chase, parse_tgds, restricted_chase
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from conftest import report
+
+TGDS = parse_tgds(
+    [
+        "E(x,y) -> F(x,y)",
+        "F(x,y) -> G(y,w)",
+        "G(x,y) -> H(x)",
+    ]
+)
+
+
+def chain_database(n: int) -> Database:
+    """An E-chain plus reflexive G-facts.
+
+    The G-facts already witness the head of ``F(x,y) → ∃w G(y,w)``, so the
+    restricted chase skips those triggers while the oblivious chase
+    materializes one redundant null per chain edge — the §1 size gap.
+    """
+    atoms = [
+        Atom("E", [Constant(f"c{i}"), Constant(f"c{i + 1}")]) for i in range(n)
+    ]
+    atoms += [
+        Atom("G", [Constant(f"c{i}"), Constant(f"c{i}")]) for i in range(n + 1)
+    ]
+    return Database(atoms)
+
+
+def test_shape_sizes(
+):
+    rows = [("chain length", "restricted atoms", "oblivious atoms")]
+    for n in (4, 8, 16, 32):
+        db = chain_database(n)
+        restricted = restricted_chase(db, TGDS)
+        oblivious = oblivious_chase(db, TGDS)
+        assert restricted.terminated and oblivious.terminated
+        rows.append((n, len(restricted.instance), len(oblivious.instance)))
+        assert len(restricted.instance) < len(oblivious.instance)
+    report("X11: result sizes on the chain workload", rows)
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_bench_restricted(benchmark, n):
+    db = chain_database(n)
+    result = benchmark(restricted_chase, db, TGDS)
+    assert result.terminated
+
+
+@pytest.mark.parametrize("n", [8, 32])
+def test_bench_oblivious(benchmark, n):
+    db = chain_database(n)
+    result = benchmark(oblivious_chase, db, TGDS)
+    assert result.terminated

@@ -1,0 +1,50 @@
+"""X1 — §1 intro example: restricted vs oblivious chase.
+
+Shape to reproduce: the restricted chase terminates immediately (0 steps,
+1 atom); the oblivious chase grows without bound — the size gap widens
+linearly with the permitted rounds.
+"""
+
+import pytest
+
+from repro import oblivious_chase, parse_database, parse_tgds, restricted_chase
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def setup():
+    return parse_tgds(["R(x,y) -> R(x,z)"]), parse_database("R(a,b)")
+
+
+def test_shape_restricted_terminates(setup):
+    tgds, db = setup
+    result = restricted_chase(db, tgds)
+    assert result.terminated and result.steps == 0 and len(result.instance) == 1
+
+
+def test_shape_oblivious_diverges(setup):
+    tgds, db = setup
+    rows = [("rounds", "restricted atoms", "oblivious atoms")]
+    previous = 1
+    for rounds in (5, 10, 20, 40):
+        oblivious = oblivious_chase(db, tgds, max_rounds=rounds, max_atoms=10_000)
+        restricted = restricted_chase(db, tgds)
+        rows.append((rounds, len(restricted.instance), len(oblivious.instance)))
+        assert len(oblivious.instance) > previous  # strictly growing
+        previous = len(oblivious.instance)
+        assert len(restricted.instance) == 1
+    report("X1: restricted vs oblivious instance sizes", rows)
+
+
+def test_bench_restricted_chase(benchmark, setup):
+    tgds, db = setup
+    result = benchmark(restricted_chase, db, tgds)
+    assert result.terminated
+
+
+def test_bench_oblivious_chase_20_rounds(benchmark, setup):
+    tgds, db = setup
+    result = benchmark(
+        oblivious_chase, db, tgds, 10_000, 20
+    )
+    assert not result.terminated

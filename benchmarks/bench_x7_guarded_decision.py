@@ -1,0 +1,43 @@
+"""X7/X8 companion — the guarded decision procedure and its certificates.
+
+Shape: syntactic certificates fire on acyclic sets; pump witnesses are
+found and replay-validated on diverging guarded sets; Example 5.6 decides
+correctly.
+"""
+
+import pytest
+
+from repro import decide_guarded, parse_tgds
+from repro.termination.verdict import Status
+from conftest import report
+
+CASES = {
+    "intro (CT, WA)": (["R(x,y) -> R(x,z)"], Status.ALL_TERMINATING),
+    "shift (¬CT, pump)": (["R(x,y) -> R(y,z)"], Status.NOT_ALL_TERMINATING),
+    "example 5.6 (¬CT)": (
+        ["S(x,y) -> T(x)", "R(x,y), T(y) -> P(x,y)", "P(x,y) -> P(y,z)"],
+        Status.NOT_ALL_TERMINATING,
+    ),
+    "full rules (CT)": (["R(x,y) -> S(y,x)"], Status.ALL_TERMINATING),
+    "side loop (¬CT)": (
+        ["R(x,y), A(x) -> R(y,z)", "R(x,y) -> A(y)"],
+        Status.NOT_ALL_TERMINATING,
+    ),
+}
+
+
+def test_shape_guarded_decisions():
+    rows = [("set", "verdict", "method")]
+    for name, (rules, expected) in CASES.items():
+        verdict = decide_guarded(parse_tgds(rules))
+        assert verdict.status == expected, name
+        rows.append((name, verdict.status, verdict.method))
+    report("X7: guarded decisions", rows)
+
+
+@pytest.mark.parametrize("name", ["shift (¬CT, pump)", "example 5.6 (¬CT)"])
+def test_bench_decide_guarded(benchmark, name):
+    rules, expected = CASES[name]
+    tgds = parse_tgds(rules)
+    verdict = benchmark(decide_guarded, tgds)
+    assert verdict.status == expected

@@ -1,0 +1,60 @@
+"""X9 — §6: the sticky Büchi decision procedure.
+
+Shape: known-terminating sticky sets give an empty automaton; diverging
+ones a lasso with a replay-validated witness.  State counts grow with the
+arity (the elementary-but-exponential construction the paper promises).
+"""
+
+import pytest
+
+from repro import CaterpillarAutomatonFamily, decide_sticky, parse_tgds
+from repro.termination.verdict import Status
+from conftest import report
+
+CASES = {
+    "intro (CT)": ["R(x,y) -> R(x,z)"],
+    "shift chain (¬CT)": ["R(x,y) -> R(y,z)"],
+    "alternating (¬CT)": ["R(x,y) -> S(y,z)", "S(x,y) -> R(y,z)"],
+    "swap closes (CT)": ["P(x) -> R(x,y)", "R(x,y) -> R(y,x)"],
+    "paper §2 sticky (CT)": ["T(x,y,z) -> S(y,w)", "R(x,y), P(y,z) -> T(x,y,w)"],
+}
+
+EXPECTED = {
+    "intro (CT)": Status.ALL_TERMINATING,
+    "shift chain (¬CT)": Status.NOT_ALL_TERMINATING,
+    "alternating (¬CT)": Status.NOT_ALL_TERMINATING,
+    "swap closes (CT)": Status.ALL_TERMINATING,
+    "paper §2 sticky (CT)": Status.ALL_TERMINATING,
+}
+
+
+def test_shape_decisions():
+    rows = [("set", "verdict", "automaton states")]
+    for name, rules in CASES.items():
+        tgds = parse_tgds(rules)
+        verdict = decide_sticky(tgds)
+        assert verdict.status == EXPECTED[name], name
+        states = CaterpillarAutomatonFamily(tgds).total_reachable_states()
+        rows.append((name, verdict.status, states))
+    report("X9: sticky decisions", rows)
+
+
+def test_shape_state_growth_with_arity():
+    rows = [("arity", "reachable states")]
+    previous = 0
+    for arity in (2, 3, 4):
+        args = ",".join(f"x{i}" for i in range(arity))
+        shifted = ",".join(f"x{i}" for i in range(1, arity)) + ",z"
+        tgds = parse_tgds([f"R({args}) -> R({shifted})"])
+        states = CaterpillarAutomatonFamily(tgds).total_reachable_states()
+        rows.append((arity, states))
+        assert states >= previous
+        previous = states
+    report("X9: automaton size vs arity", rows)
+
+
+@pytest.mark.parametrize("name", ["shift chain (¬CT)", "paper §2 sticky (CT)"])
+def test_bench_decide(benchmark, name):
+    tgds = parse_tgds(CASES[name])
+    verdict = benchmark(decide_sticky, tgds)
+    assert verdict.status == EXPECTED[name]

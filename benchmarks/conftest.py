@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_x*.py`` file regenerates one exhibit from EXPERIMENTS.md:
+alongside the timed kernel it prints the rows/series the exhibit defines
+(``-s`` shows them; the assertions pin the qualitative shape either way).
+"""
+
+from __future__ import annotations
+
+
+def report(title: str, rows) -> None:
+    """Print a small aligned table under a title."""
+    print(f"\n[{title}]")
+    rows = list(rows)
+    if not rows:
+        return
+    widths = [max(len(str(cell)) for cell in column) for column in zip(*rows)]
+    for row in rows:
+        line = "  ".join(str(cell).ljust(width) for cell, width in zip(row, widths))
+        print(f"  {line}")

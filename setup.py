@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The offline environment has setuptools but no ``wheel`` package, so PEP 660
+editable installs (which need ``bdist_wheel``) cannot work without network
+access.  This shim plus ``no-use-pep517`` lets ``pip install -e .`` take the
+legacy ``setup.py develop`` path, which works fully offline.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,1 @@
+"""Deterministic Buechi automata with lazy exploration and lasso-based emptiness."""

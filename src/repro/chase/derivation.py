@@ -1,0 +1,123 @@
+"""Chase derivations: recorded trigger sequences with validation.
+
+A restricted chase derivation (Section 3.2) is a sequence of instances
+``I0, I1, ...`` where each step applies an *active* trigger.  We record the
+initial instance and the trigger sequence; the intermediate instances are
+recomputable.  Validation re-checks, step by step, that each trigger was a
+trigger on the current instance and active — tests use this to certify
+every derivation any component produces.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import is_homomorphism
+from repro.core.instance import Instance
+from repro.chase.trigger import Trigger, active_triggers_on, is_active
+from repro.tgds.tgd import TGD
+
+
+class DerivationError(ValueError):
+    """Raised when a recorded derivation violates the chase rules."""
+
+
+class Derivation:
+    """A finite (prefix of a) restricted chase derivation."""
+
+    def __init__(self, initial: Instance, steps: Optional[Sequence[Trigger]] = None):
+        self.initial = initial.copy()
+        self.steps: List[Trigger] = list(steps) if steps else []
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def append(self, trigger: Trigger) -> None:
+        self.steps.append(trigger)
+
+    def atoms_added(self) -> List[Atom]:
+        """The result atoms, in derivation order."""
+        return [t.result() for t in self.steps]
+
+    def instances(self) -> Iterator[Instance]:
+        """Yield ``I0, I1, ..., In`` (each a fresh copy)."""
+        current = self.initial.copy()
+        yield current.copy()
+        for trigger in self.steps:
+            current.add(trigger.result())
+            yield current.copy()
+
+    def instance_at(self, index: int) -> Instance:
+        """``I_index`` (0 is the initial instance)."""
+        if not 0 <= index <= len(self.steps):
+            raise IndexError(f"no instance {index} in a {len(self.steps)}-step derivation")
+        current = self.initial.copy()
+        for trigger in self.steps[:index]:
+            current.add(trigger.result())
+        return current
+
+    def final_instance(self) -> Instance:
+        return self.instance_at(len(self.steps))
+
+    def validate(self, tgds: Sequence[TGD], require_terminal: bool = False) -> None:
+        """Re-check every step; raise :class:`DerivationError` on violation.
+
+        With ``require_terminal`` also checks that no active trigger remains
+        on the final instance (i.e. the derivation is a complete finite
+        restricted chase derivation, not just a prefix).
+        """
+        tgd_set = set(tgds)
+        current = self.initial.copy()
+        for index, trigger in enumerate(self.steps):
+            if trigger.tgd not in tgd_set:
+                raise DerivationError(f"step {index}: TGD {trigger.tgd} not in the set")
+            mapping = {v: trigger.h[v] for v in trigger.tgd.body_variables()}
+            if not is_homomorphism(mapping, trigger.tgd.body, current):
+                raise DerivationError(
+                    f"step {index}: {trigger} is not a trigger on I_{index}"
+                )
+            if not is_active(trigger, current):
+                raise DerivationError(
+                    f"step {index}: trigger {trigger} is not active on I_{index}"
+                )
+            current.add(trigger.result())
+        if require_terminal:
+            leftover = next(iter(active_triggers_on(tgds, current)), None)
+            if leftover is not None:
+                raise DerivationError(
+                    f"derivation is not terminal: {leftover} is still active"
+                )
+
+    def persistent_active_triggers(self, tgds: Sequence[TGD]) -> List[Tuple[int, Trigger]]:
+        """Triggers active at some ``I_i`` and *still active on the final
+
+        instance* — the fairness suspects of this prefix (each is a pair of
+        the first index where it fired as active and the trigger).  A fair
+        infinite derivation must eventually deactivate each of them; a
+        finite terminal derivation has none."""
+        final = self.final_instance()
+        suspects: List[Tuple[int, Trigger]] = []
+        seen: Set[tuple] = set()
+        for index, instance in enumerate(self.instances()):
+            if index > len(self.steps):
+                break
+            for trigger in active_triggers_on(tgds, instance):
+                if trigger.key in seen:
+                    continue
+                seen.add(trigger.key)
+                if is_active(trigger, final):
+                    suspects.append((index, trigger))
+        return suspects
+
+    def is_fair_prefix(self, tgds: Sequence[TGD]) -> bool:
+        """True iff no trigger stays active through the whole prefix.
+
+        For terminal derivations this is exactly fairness; for proper
+        prefixes it is the finite-horizon approximation used by the
+        Fairness Theorem machinery.
+        """
+        return not self.persistent_active_triggers(tgds)
+
+    def __repr__(self) -> str:
+        return f"Derivation({len(self.steps)} steps from {len(self.initial)} atoms)"

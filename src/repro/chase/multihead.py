@@ -1,0 +1,213 @@
+"""Restricted chase for multi-head TGDs.
+
+Only needed to reproduce Example B.1: the Fairness Theorem (Theorem 4.1)
+*fails* for TGDs whose head is a conjunction of atoms.  A multi-head
+trigger is active if no single extension of ``h|fr(σ)`` maps *all* head
+atoms into the instance; applying it adds all head atoms at once, sharing
+the invented nulls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import find_homomorphism, homomorphisms
+from repro.core.instance import Instance
+from repro.core.substitution import Substitution
+from repro.core.terms import Null, Term
+from repro.tgds.tgd import MultiHeadTGD
+
+
+class MultiHeadTrigger:
+    """A trigger ``(σ, h)`` for a multi-head TGD."""
+
+    __slots__ = ("tgd", "h", "_results", "_key")
+
+    def __init__(self, tgd: MultiHeadTGD, h):
+        body_vars = {v for atom in tgd.body for v in atom.variables()}
+        mapping = {v: h[v] for v in body_vars}
+        object.__setattr__(self, "tgd", tgd)
+        object.__setattr__(self, "h", Substitution(mapping))
+        object.__setattr__(self, "_results", None)
+        object.__setattr__(self, "_key", (tgd, self.h.canonical_items()))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MultiHeadTrigger is immutable")
+
+    @property
+    def key(self) -> tuple:
+        return self._key
+
+    def results(self) -> Tuple[Atom, ...]:
+        """All head atoms instantiated, sharing deterministic fresh nulls."""
+        cached = self._results
+        if cached is not None:
+            return cached
+        binding = sorted(self.h.items(), key=lambda kv: kv[0].name)
+        payload = self.tgd.name + "\x1e" + repr(self.tgd) + "\x1e"
+        payload += "\x1e".join(f"{v.name}\x1f{t!r}" for v, t in binding)
+        digest = hashlib.blake2b(payload.encode(), digest_size=9).hexdigest()
+        mapping: Dict[Term, Term] = dict(self.h.items())
+        for var in sorted(self.tgd.existential_variables, key=lambda v: v.name):
+            mapping[var] = Null(f"{digest}.{var.name}")
+        atoms = tuple(atom.apply(mapping) for atom in self.tgd.head)
+        object.__setattr__(self, "_results", atoms)
+        return atoms
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, MultiHeadTrigger) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"MultiHeadTrigger({self.tgd.name}, {self.h!r})"
+
+
+def is_active_multihead(trigger: MultiHeadTrigger, instance: Instance) -> bool:
+    """No extension of ``h|fr(σ)`` maps the whole head into ``instance``."""
+    frontier_binding = {v: trigger.h[v] for v in trigger.tgd.frontier}
+    return (
+        find_homomorphism(trigger.tgd.head, instance, partial=frontier_binding)
+        is None
+    )
+
+
+def multihead_triggers_on(
+    tgds: Iterable[MultiHeadTGD], instance: Instance
+) -> Iterator[MultiHeadTrigger]:
+    """All multi-head triggers on the instance, deduplicated."""
+    seen: Set[tuple] = set()
+    for tgd in tgds:
+        for h in homomorphisms(tgd.body, instance):
+            trigger = MultiHeadTrigger(tgd, h)
+            if trigger.key not in seen:
+                seen.add(trigger.key)
+                yield trigger
+
+
+def active_multihead_triggers_on(
+    tgds: Iterable[MultiHeadTGD], instance: Instance
+) -> List[MultiHeadTrigger]:
+    """All active multi-head triggers, deterministically ordered."""
+    return sorted(
+        (
+            t
+            for t in multihead_triggers_on(tgds, instance)
+            if is_active_multihead(t, instance)
+        ),
+        key=lambda t: repr(t.key),
+    )
+
+
+class MultiHeadChaseResult:
+    """Outcome of a multi-head restricted chase run."""
+
+    def __init__(self, instance: Instance, applied: List[MultiHeadTrigger], terminated: bool):
+        self.instance = instance
+        self.applied = applied
+        self.terminated = terminated
+
+    @property
+    def steps(self) -> int:
+        return len(self.applied)
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.terminated else "cut off"
+        return f"MultiHeadChaseResult({state}, {self.steps} steps)"
+
+
+def multihead_restricted_chase(
+    database: Instance,
+    tgds: Sequence[MultiHeadTGD],
+    strategy: Union[str, int] = "fifo",
+    max_steps: int = 1_000,
+    seed: Optional[int] = None,
+) -> MultiHeadChaseResult:
+    """Restricted chase with multi-head TGDs.
+
+    ``strategy`` is ``"fifo"`` (first active trigger in deterministic
+    order), ``"lifo"`` (last), ``"random"``, or an integer ``k`` meaning
+    "always pick the active trigger whose TGD has index k, else the first"
+    — the knob Example B.1 needs to force unfair behavior.
+    """
+    rng = random.Random(seed)
+    instance = Instance(database.atoms())
+    applied: List[MultiHeadTrigger] = []
+    tgd_list = list(tgds)
+    while len(applied) < max_steps:
+        candidates = active_multihead_triggers_on(tgd_list, instance)
+        if not candidates:
+            return MultiHeadChaseResult(instance, applied, terminated=True)
+        if strategy == "fifo":
+            trigger = candidates[0]
+        elif strategy == "lifo":
+            trigger = candidates[-1]
+        elif strategy == "random":
+            trigger = candidates[rng.randrange(len(candidates))]
+        elif isinstance(strategy, int):
+            preferred = [
+                t for t in candidates if tgd_list.index(t.tgd) == strategy
+            ]
+            trigger = preferred[0] if preferred else candidates[0]
+        else:
+            raise ValueError(f"unknown strategy {strategy!r}")
+        for atom in trigger.results():
+            instance.add(atom)
+        applied.append(trigger)
+    return MultiHeadChaseResult(instance, applied, terminated=False)
+
+
+def multihead_exists_derivation_of_length(
+    database: Instance,
+    tgds: Sequence[MultiHeadTGD],
+    length: int,
+    max_nodes: int = 100_000,
+) -> Optional[List[MultiHeadTrigger]]:
+    """DFS over trigger choices for a multi-head derivation of ``length`` steps.
+
+    Returns the trigger sequence or None when every derivation is shorter
+    (exhaustively verified within ``max_nodes`` states); raises
+    ``RuntimeError`` when the budget is exhausted first.
+    """
+    budget = [max_nodes]
+    failed_at: Dict[frozenset, int] = {}
+
+    def dfs(instance: Instance, steps: List[MultiHeadTrigger]):
+        if len(steps) >= length:
+            return list(steps)
+        if budget[0] <= 0:
+            raise RuntimeError(f"explored {max_nodes} states without an answer")
+        budget[0] -= 1
+        state = frozenset(instance.atoms())
+        if failed_at.get(state, -1) >= len(steps):
+            return None
+        for trigger in active_multihead_triggers_on(tgds, instance):
+            extended = instance.copy()
+            for atom in trigger.results():
+                extended.add(atom)
+            steps.append(trigger)
+            found = dfs(extended, steps)
+            if found is not None:
+                return found
+            steps.pop()
+        failed_at[state] = max(failed_at.get(state, -1), len(steps))
+        return None
+
+    return dfs(Instance(database.atoms()), [])
+
+
+def example_b1_tgds() -> List[MultiHeadTGD]:
+    """The multi-head counterexample of Example B.1.
+
+    ``R(x,y,y) → ∃z R(x,z,y), R(z,y,y)`` and ``R(x,y,z) → R(z,z,z)``.
+    On ``{R(a,b,b)}`` an infinite (unfair) derivation exists (apply only
+    the first TGD forever), yet every *fair* derivation is finite.
+    """
+    return [
+        MultiHeadTGD.parse("R(x,y,y) -> R(x,z,y), R(z,y,y)", name="mh1"),
+        MultiHeadTGD.parse("R(x,y,z) -> R(z,z,z)", name="mh2"),
+    ]

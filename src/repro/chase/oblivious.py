@@ -1,0 +1,97 @@
+"""The oblivious chase (Section 3.1, set semantics).
+
+The oblivious chase of ``D`` w.r.t. ``T`` is the ⊆-minimal instance that
+contains ``D`` and is closed under (active or not) trigger applications.
+Null invention is deterministic per trigger (Definition 3.1's
+``c_x^{σ,h}``), so the fixpoint is unique and order-independent: we compute
+it round by round.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.chase.trigger import Trigger, new_triggers, triggers_on
+from repro.tgds.tgd import TGD
+
+
+class ObliviousResult:
+    """Outcome of an oblivious chase run."""
+
+    def __init__(self, instance: Instance, terminated: bool, rounds: int, applications: int):
+        #: The fixpoint (or cut-off) instance.
+        self.instance = instance
+        #: True iff a fixpoint was reached within the bounds.
+        self.terminated = terminated
+        #: Number of saturation rounds performed.
+        self.rounds = rounds
+        #: Number of trigger applications (counting only atom-producing ones).
+        self.applications = applications
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.terminated else "cut off"
+        return (
+            f"ObliviousResult({state} after {self.rounds} rounds, "
+            f"{len(self.instance)} atoms)"
+        )
+
+
+def oblivious_chase(
+    database: Instance,
+    tgds: Sequence[TGD],
+    max_atoms: int = 100_000,
+    max_rounds: int = 10_000,
+) -> ObliviousResult:
+    """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
+
+    Applies every trigger (active or not); set semantics deduplicates
+    results.  A round applies all triggers touching the atoms added in the
+    previous round.
+    """
+    instance = Instance(database.atoms())
+    frontier: List[Atom] = list(instance.atoms())
+    applied: Set[tuple] = set()
+    applications = 0
+    rounds = 0
+    first_round = True
+    while frontier:
+        if rounds >= max_rounds or len(instance) > max_atoms:
+            return ObliviousResult(instance, False, rounds, applications)
+        rounds += 1
+        if first_round:
+            batch = list(triggers_on(tgds, instance))
+            first_round = False
+        else:
+            batch = list(new_triggers(tgds, instance, frontier))
+        next_frontier: List[Atom] = []
+        for trigger in sorted(batch, key=lambda t: repr(t.key)):
+            if trigger.key in applied:
+                continue
+            applied.add(trigger.key)
+            atom = trigger.result()
+            if instance.add(atom):
+                applications += 1
+                next_frontier.append(atom)
+            if len(instance) > max_atoms:
+                return ObliviousResult(instance, False, rounds, applications)
+        frontier = next_frontier
+    return ObliviousResult(instance, True, rounds, applications)
+
+
+def oblivious_chase_terminates(
+    database: Instance,
+    tgds: Sequence[TGD],
+    max_atoms: int = 100_000,
+    max_rounds: int = 10_000,
+) -> bool:
+    """Did the oblivious chase reach its fixpoint within the bounds?"""
+    return oblivious_chase(database, tgds, max_atoms, max_rounds).terminated
+
+
+def satisfies_all(instance: Instance, tgds: Sequence[TGD]) -> bool:
+    """Model check ``I |= T`` (Section 2): every trigger is non-active."""
+    from repro.chase.trigger import active_triggers_on
+
+    return next(iter(active_triggers_on(tgds, instance)), None) is None

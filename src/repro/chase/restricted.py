@@ -1,0 +1,232 @@
+"""The restricted (standard) chase (Section 3.2).
+
+Starting from a database, repeatedly apply *active* triggers until none is
+left (termination) or a step bound is hit.  The order in which active
+triggers are chosen is a *strategy*; different strategies realize different
+derivations — the heart of the paper's ``∀∀`` problem, where *every*
+derivation must terminate.
+
+Strategies:
+
+* ``fifo``   — oldest discovered trigger first (level-ish, fair-biased);
+* ``lifo``   — newest first (depth-first, divergence-biased);
+* ``random`` — uniformly random among pending, seeded;
+* a callable ``(pending: list[Trigger], instance) -> index`` for custom
+  orders (the caterpillar replayer uses this).
+
+Since atoms are never removed, a trigger deactivated once can never become
+active again; the engine exploits this with an incremental worklist.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database, Instance
+from repro.chase.derivation import Derivation
+from repro.chase.trigger import (
+    Trigger,
+    active_triggers_on,
+    is_active,
+    new_triggers,
+    triggers_on,
+)
+from repro.tgds.tgd import TGD
+
+StrategyFn = Callable[[List[Trigger], Instance], int]
+
+
+class ChaseResult:
+    """Outcome of a chase run."""
+
+    def __init__(
+        self,
+        instance: Instance,
+        derivation: Derivation,
+        terminated: bool,
+        steps: int,
+    ):
+        #: The final (or cut-off) instance.
+        self.instance = instance
+        #: The recorded derivation.
+        self.derivation = derivation
+        #: True iff a fixpoint was reached (no active trigger remains).
+        self.terminated = terminated
+        #: Number of trigger applications performed.
+        self.steps = steps
+
+    def __repr__(self) -> str:
+        state = "terminated" if self.terminated else "cut off"
+        return f"ChaseResult({state} after {self.steps} steps, {len(self.instance)} atoms)"
+
+
+def _resolve_strategy(
+    strategy: Union[str, StrategyFn], seed: Optional[int]
+) -> StrategyFn:
+    if callable(strategy):
+        return strategy
+    if strategy == "fifo":
+        return lambda pending, instance: 0
+    if strategy == "lifo":
+        return lambda pending, instance: len(pending) - 1
+    if strategy == "random":
+        rng = random.Random(seed)
+        return lambda pending, instance: rng.randrange(len(pending))
+    raise ValueError(f"unknown strategy {strategy!r}")
+
+
+def restricted_chase(
+    database: Instance,
+    tgds: Sequence[TGD],
+    strategy: Union[str, StrategyFn] = "fifo",
+    max_steps: int = 10_000,
+    seed: Optional[int] = None,
+) -> ChaseResult:
+    """Run one restricted chase derivation.
+
+    Returns a :class:`ChaseResult`; ``terminated`` is False when
+    ``max_steps`` applications happened with active triggers remaining
+    (the derivation is then a proper prefix).
+    """
+    choose = _resolve_strategy(strategy, seed)
+    instance = Instance(database.atoms())
+    derivation = Derivation(instance)
+    pending: List[Trigger] = sorted(
+        triggers_on(tgds, instance), key=lambda t: repr(t.key)
+    )
+    enqueued: Set[tuple] = {t.key for t in pending}
+    steps = 0
+    while pending:
+        if steps >= max_steps:
+            return ChaseResult(instance, derivation, terminated=False, steps=steps)
+        index = choose(pending, instance)
+        trigger = pending.pop(index)
+        if not is_active(trigger, instance):
+            continue
+        atom = trigger.result()
+        instance.add(atom)
+        derivation.append(trigger)
+        steps += 1
+        for fresh in sorted(
+            new_triggers(tgds, instance, [atom]), key=lambda t: repr(t.key)
+        ):
+            if fresh.key not in enqueued:
+                enqueued.add(fresh.key)
+                pending.append(fresh)
+    return ChaseResult(instance, derivation, terminated=True, steps=steps)
+
+
+def restricted_chase_naive(
+    database: Instance,
+    tgds: Sequence[TGD],
+    max_steps: int = 10_000,
+) -> ChaseResult:
+    """Ablation baseline: re-enumerate *all* active triggers at every step.
+
+    Semantically equivalent to :func:`restricted_chase` with the FIFO
+    strategy, but without the incremental worklist — the cost gap between
+    the two is measured by ``benchmarks/bench_ablation_engine.py``.
+    """
+    instance = Instance(database.atoms())
+    derivation = Derivation(instance)
+    steps = 0
+    while steps < max_steps:
+        trigger = next(
+            iter(
+                sorted(
+                    active_triggers_on(tgds, instance), key=lambda t: repr(t.key)
+                )
+            ),
+            None,
+        )
+        if trigger is None:
+            return ChaseResult(instance, derivation, terminated=True, steps=steps)
+        instance.add(trigger.result())
+        derivation.append(trigger)
+        steps += 1
+    leftover = next(iter(active_triggers_on(tgds, instance)), None)
+    return ChaseResult(instance, derivation, terminated=leftover is None, steps=steps)
+
+
+def chase_terminates(
+    database: Instance,
+    tgds: Sequence[TGD],
+    strategy: Union[str, StrategyFn] = "fifo",
+    max_steps: int = 10_000,
+    seed: Optional[int] = None,
+) -> bool:
+    """Convenience wrapper: did this particular derivation reach a fixpoint?"""
+    return restricted_chase(database, tgds, strategy, max_steps, seed).terminated
+
+
+def exists_derivation_of_length(
+    database: Instance,
+    tgds: Sequence[TGD],
+    length: int,
+    max_nodes: int = 200_000,
+) -> Optional[Derivation]:
+    """Search (DFS over trigger choices) for a derivation with ``length`` steps.
+
+    The ``∃`` side of the ∀∀-problem on a fixed database: is there *some*
+    restricted chase derivation this long?  Returns the derivation or None
+    when exhaustive search (within ``max_nodes`` explored states) proves
+    every derivation is shorter.  Raises ``SearchBudgetExceeded`` when the
+    node budget is hit without an answer.
+    """
+    budget = [max_nodes]
+    # state -> deepest depth at which the state was explored and failed.
+    # A revisit at depth k can only succeed if the longest continuation from
+    # the state is >= length - k, which a failure at depth k' >= k already
+    # rules out; shallower failures rule out nothing, so only the max depth
+    # is remembered.  (An active trigger always adds a new atom, so states
+    # grow strictly along a path and no path revisits a state.)
+    failed_at: dict = {}
+
+    def dfs(instance: Instance, steps: List[Trigger]) -> Optional[List[Trigger]]:
+        if len(steps) >= length:
+            return list(steps)
+        if budget[0] <= 0:
+            raise SearchBudgetExceeded(
+                f"explored {max_nodes} states without an answer"
+            )
+        budget[0] -= 1
+        state = frozenset(instance.atoms())
+        if failed_at.get(state, -1) >= len(steps):
+            return None
+        for trigger in sorted(
+            active_triggers_on(tgds, instance), key=lambda t: repr(t.key)
+        ):
+            extended = instance.copy()
+            extended.add(trigger.result())
+            steps.append(trigger)
+            found = dfs(extended, steps)
+            if found is not None:
+                return found
+            steps.pop()
+        failed_at[state] = max(failed_at.get(state, -1), len(steps))
+        return None
+
+    found = dfs(Instance(database.atoms()), [])
+    if found is None:
+        return None
+    return Derivation(Instance(database.atoms()), found)
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when an exhaustive search runs out of its node budget."""
+
+
+def all_derivations_terminate(
+    database: Instance,
+    tgds: Sequence[TGD],
+    max_steps: int,
+    max_nodes: int = 200_000,
+) -> bool:
+    """Do *all* restricted chase derivations from ``database`` terminate
+
+    within ``max_steps``?  True means exhaustively verified; False means a
+    derivation with ``max_steps`` steps exists (non-termination suspect);
+    raises :class:`SearchBudgetExceeded` when the budget runs out first."""
+    return exists_derivation_of_length(database, tgds, max_steps, max_nodes) is None

@@ -1,0 +1,177 @@
+"""Triggers and trigger application (Definition 3.1).
+
+A *trigger* for a set ``T`` on an instance ``I`` is a pair ``(σ, h)`` with
+``σ ∈ T`` and ``h`` a homomorphism from ``body(σ)`` to ``I``.  It is
+*active* if no extension ``h' ⊇ h|fr(σ)`` maps ``head(σ)`` into ``I``.
+``result(σ, h)`` instantiates the head, inventing one fresh null per
+existential variable, with the null's identity *uniquely determined by the
+trigger and the variable* — this determinism is what makes the oblivious
+chase order-independent and lets the real oblivious chase refer to atoms
+unambiguously.
+
+Null names are derived from a cryptographic digest of the trigger's
+canonical serialization, so two applications of the same trigger (in any
+order, in any run) invent the *same* nulls.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import homomorphisms, match_atom
+from repro.core.instance import Instance
+from repro.core.substitution import Substitution
+from repro.core.terms import Null, Term, Variable
+from repro.tgds.tgd import TGD
+
+
+def _trigger_digest(tgd: TGD, body_binding: Sequence[Tuple[Variable, Term]]) -> str:
+    """A short stable digest identifying ``(σ, h|body-vars)``."""
+    payload = tgd.name + "\x1f" + repr(tgd) + "\x1e"
+    payload += "\x1e".join(f"{v.name}\x1f{t!r}" for v, t in body_binding)
+    return hashlib.blake2b(payload.encode(), digest_size=9).hexdigest()
+
+
+class Trigger:
+    """A trigger ``(σ, h)``; ``h`` is stored restricted to the body variables."""
+
+    __slots__ = ("tgd", "h", "_result", "_key")
+
+    def __init__(self, tgd: TGD, h):
+        mapping = {}
+        missing = []
+        for variable in tgd.body_variables():
+            try:
+                mapping[variable] = h[variable]
+            except KeyError:
+                missing.append(variable)
+        if missing:
+            raise ValueError(f"homomorphism misses body variables {missing}")
+        object.__setattr__(self, "tgd", tgd)
+        object.__setattr__(self, "h", Substitution(mapping))
+        object.__setattr__(self, "_result", None)
+        object.__setattr__(self, "_key", (tgd, self.h.canonical_items()))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Trigger is immutable")
+
+    @property
+    def key(self) -> tuple:
+        """Hashable identity of the trigger: ``(σ, h)`` up to representation."""
+        return self._key
+
+    def frontier_substitution(self) -> Substitution:
+        """``h|fr(σ)``."""
+        return self.h.restrict(self.tgd.frontier)
+
+    def body_image(self) -> List[Atom]:
+        """``h(body(σ))``: the atoms of the instance this trigger matched."""
+        return [atom.apply(self.h) for atom in self.tgd.body]
+
+    def result(self) -> Atom:
+        """``result(σ, h)`` (Definition 3.1), cached.
+
+        Frontier variables take their ``h``-image; each existential variable
+        ``z`` takes the null ``c_z^{σ,h}`` named from the trigger digest.
+        """
+        cached = self._result
+        if cached is not None:
+            return cached
+        binding = sorted(self.h.items(), key=lambda kv: kv[0].name)
+        digest = _trigger_digest(self.tgd, binding)
+        mapping: Dict[Term, Term] = {}
+        for var in self.tgd.head.variables():
+            if var in self.tgd.frontier:
+                mapping[var] = self.h[var]
+            else:
+                mapping[var] = Null(f"{digest}.{var.name}")
+        atom = self.tgd.head.apply(mapping)
+        object.__setattr__(self, "_result", atom)
+        return atom
+
+    def result_frontier_terms(self) -> Set[Term]:
+        """``fr(result(σ,h))``: terms at the head's frontier positions."""
+        result = self.result()
+        return {result[i] for i in self.tgd.frontier_head_positions()}
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Trigger) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.tgd.name}, {self.h!r})"
+
+
+def satisfies_head(instance: Instance, tgd: TGD, frontier_binding: Dict[Term, Term]) -> bool:
+    """Is there ``h' ⊇ h|fr(σ)`` with ``h'(head(σ)) ∈ I``?
+
+    ``frontier_binding`` maps the frontier variables to terms; existential
+    variables may match anything, consistently across repeated occurrences.
+    """
+    head = tgd.head
+    for candidate in instance.with_predicate(head.predicate):
+        if match_atom(head, candidate, frontier_binding) is not None:
+            return True
+    return False
+
+
+def is_active(trigger: Trigger, instance: Instance) -> bool:
+    """Definition 3.1: the trigger is active iff its head is not yet witnessed."""
+    frontier_binding = {v: trigger.h[v] for v in trigger.tgd.frontier}
+    return not satisfies_head(instance, trigger.tgd, frontier_binding)
+
+
+def apply_trigger(instance: Instance, trigger: Trigger) -> Atom:
+    """``I⟨σ,h⟩J``: add ``result(σ,h)`` to the instance; returns the atom."""
+    atom = trigger.result()
+    instance.add(atom)
+    return atom
+
+
+def triggers_on(tgds: Iterable[TGD], instance: Instance) -> Iterator[Trigger]:
+    """All triggers for ``T`` on ``I`` (active or not), deduplicated."""
+    seen: Set[tuple] = set()
+    for tgd in tgds:
+        for h in homomorphisms(tgd.body, instance):
+            trigger = Trigger(tgd, h)
+            if trigger.key not in seen:
+                seen.add(trigger.key)
+                yield trigger
+
+
+def active_triggers_on(tgds: Iterable[TGD], instance: Instance) -> Iterator[Trigger]:
+    """All *active* triggers for ``T`` on ``I``."""
+    for trigger in triggers_on(tgds, instance):
+        if is_active(trigger, instance):
+            yield trigger
+
+
+def new_triggers(
+    tgds: Iterable[TGD], instance: Instance, new_atoms: Iterable[Atom]
+) -> Iterator[Trigger]:
+    """Triggers whose image uses at least one atom of ``new_atoms``.
+
+    The incremental step of the chase engines: after adding atoms, only
+    triggers touching them can be new.  May yield a trigger reachable via
+    several pivots only once.
+    """
+    new_set = set(new_atoms)
+    if not new_set:
+        return
+    seen: Set[tuple] = set()
+    for tgd in tgds:
+        for pivot_index, pivot in enumerate(tgd.body):
+            for pivot_atom in new_set:
+                base = match_atom(pivot, pivot_atom)
+                if base is None:
+                    continue
+                rest = [a for i, a in enumerate(tgd.body) if i != pivot_index]
+                for h in homomorphisms(rest, instance, partial=base):
+                    trigger = Trigger(tgd, h)
+                    if trigger.key not in seen:
+                        seen.add(trigger.key)
+                        yield trigger

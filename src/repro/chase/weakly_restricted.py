@@ -1,0 +1,201 @@
+"""The weakly restricted chase and the Extract procedure (Appendix C.2/C.3).
+
+The Treeification proof watches a restricted chase derivation "through
+distorting mirrors": a single chase step is seen as the simultaneous
+generation of several mirror-image atoms.  Definition C.4 formalizes this
+as the *weakly restricted chase*: a chase on **multiset** instances where a
+*set* of active triggers is applied per step.  The ``Extract(K, T)``
+procedure then linearizes such a multiset run back into an ordinary
+restricted chase derivation, stopping (and discarding, with all their
+guard-descendants) the occurrences whose trigger is no longer active.
+
+Occurrences are anchored: each derived occurrence records which occurrence
+of its (guard-)parent atom it mirrors, giving the per-occurrence ``≺gp``
+forest the proof needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.chase.derivation import Derivation
+from repro.chase.trigger import Trigger, is_active, triggers_on
+from repro.core.homomorphism import is_homomorphism
+from repro.tgds.guardedness import guard_of
+from repro.tgds.tgd import TGD
+
+
+class WROccurrence:
+    """One occurrence of an atom in the weakly restricted chase multiset."""
+
+    __slots__ = ("occ_id", "atom", "round_index", "trigger", "anchor_parent", "root_depth")
+
+    def __init__(
+        self,
+        occ_id: int,
+        atom: Atom,
+        round_index: int,
+        trigger: Optional[Trigger],
+        anchor_parent: Optional[int],
+        root_depth: int,
+    ):
+        self.occ_id = occ_id
+        self.atom = atom
+        self.round_index = round_index
+        #: The trigger that generated this occurrence (None for roots).
+        self.trigger = trigger
+        #: The occurrence id of the mirrored (guard-)parent (None for roots).
+        self.anchor_parent = anchor_parent
+        #: ``depth`` of the root database occurrence this one descends from.
+        self.root_depth = root_depth
+
+    @property
+    def is_root(self) -> bool:
+        return self.trigger is None
+
+    def __repr__(self) -> str:
+        return f"WROcc#{self.occ_id}[{self.atom} @r{self.round_index}]"
+
+
+class WeaklyRestrictedChase:
+    """A bounded run of the weakly restricted chase (Definition C.4).
+
+    Each round applies *every* currently active trigger once per occurrence
+    of its anchor atom (the guard image for guarded TGDs, the first body
+    atom image otherwise), creating one occurrence per (trigger, anchor
+    occurrence) pair — the "mirror images" of the proof.
+    """
+
+    def __init__(
+        self,
+        roots: Iterable[Tuple[Atom, int]],
+        tgds: Sequence[TGD],
+    ):
+        """``roots``: (atom, depth) pairs — the multiset database ``D_ac``
+
+        with the ``depth`` labels of the treeification construction (use 0
+        when depths are irrelevant)."""
+        self.tgds = tuple(tgds)
+        self.occurrences: List[WROccurrence] = []
+        self._applied: Set[tuple] = set()
+        self._atom_view = Instance()
+        for atom, depth in roots:
+            occ = WROccurrence(len(self.occurrences), atom, 0, None, None, depth)
+            self.occurrences.append(occ)
+            self._atom_view.add(atom)
+
+    def _anchor_index(self, tgd: TGD) -> int:
+        """Body index of the anchor atom: the guard when guarded, else 0."""
+        guard = guard_of(tgd)
+        if guard is None:
+            return 0
+        return list(tgd.body).index(guard)
+
+    def atom_view(self) -> Instance:
+        """The set-semantics view of the current multiset."""
+        return self._atom_view.copy()
+
+    def run(self, rounds: int, max_occurrences: int = 50_000) -> bool:
+        """Run ``rounds`` weakly restricted steps.
+
+        Returns True when a fixpoint was reached (some round had no active
+        trigger), False when the round or occurrence budget was exhausted
+        first.
+        """
+        for round_index in range(1, rounds + 1):
+            active = sorted(
+                (
+                    t
+                    for t in triggers_on(self.tgds, self._atom_view)
+                    if is_active(t, self._atom_view)
+                ),
+                key=lambda t: repr(t.key),
+            )
+            if not active:
+                return True
+            new_occurrences: List[WROccurrence] = []
+            for trigger in active:
+                anchor_index = self._anchor_index(trigger.tgd)
+                anchor_atom = trigger.tgd.body[anchor_index].apply(trigger.h)
+                anchor_occurrences = [
+                    occ for occ in self.occurrences if occ.atom == anchor_atom
+                ]
+                for anchor in anchor_occurrences:
+                    key = (trigger.key, anchor.occ_id)
+                    if key in self._applied:
+                        continue
+                    self._applied.add(key)
+                    occ = WROccurrence(
+                        len(self.occurrences) + len(new_occurrences),
+                        trigger.result(),
+                        round_index,
+                        trigger,
+                        anchor.occ_id,
+                        anchor.root_depth,
+                    )
+                    new_occurrences.append(occ)
+                    if len(self.occurrences) + len(new_occurrences) > max_occurrences:
+                        self._commit(new_occurrences)
+                        return False
+            if not new_occurrences:
+                return True
+            self._commit(new_occurrences)
+        return False
+
+    def _commit(self, new_occurrences: List[WROccurrence]) -> None:
+        for occ in new_occurrences:
+            self.occurrences.append(occ)
+            self._atom_view.add(occ.atom)
+
+    def anchor_descendants(self, occ_id: int) -> Set[int]:
+        """All occurrences whose anchor-ancestor chain passes ``occ_id``."""
+        children: Dict[int, Set[int]] = {}
+        for occ in self.occurrences:
+            if occ.anchor_parent is not None:
+                children.setdefault(occ.anchor_parent, set()).add(occ.occ_id)
+        seen: Set[int] = set()
+        stack = [occ_id]
+        while stack:
+            current = stack.pop()
+            for child in children.get(current, ()):
+                if child not in seen:
+                    seen.add(child)
+                    stack.append(child)
+        return seen
+
+
+def extract_derivation(chase: WeaklyRestrictedChase) -> Derivation:
+    """The ``Extract(K, T)`` procedure (Appendix C.2, boxed algorithm).
+
+    Walks the occurrences in the canonical order (round, root depth, id);
+    each occurrence whose trigger is still an *active* trigger on the
+    instance built so far is born (one restricted chase step); otherwise it
+    is stopped together with all its anchor-descendants.  The result is, by
+    Lemma C.7, a genuine restricted chase derivation of the root multiset's
+    atom set.
+    """
+    roots = [occ for occ in chase.occurrences if occ.is_root]
+    derived = sorted(
+        (occ for occ in chase.occurrences if not occ.is_root),
+        key=lambda occ: (occ.round_index, occ.root_depth, occ.occ_id),
+    )
+    initial = Instance(occ.atom for occ in roots)
+    current = initial.copy()
+    steps: List[Trigger] = []
+    stopped: Set[int] = set()
+    for occ in derived:
+        if occ.occ_id in stopped:
+            continue
+        trigger = occ.trigger
+        assert trigger is not None
+        mapping = {v: trigger.h[v] for v in trigger.tgd.body_variables()}
+        body_present = is_homomorphism(mapping, trigger.tgd.body, current)
+        if body_present and is_active(trigger, current):
+            current.add(occ.atom)
+            steps.append(trigger)
+        else:
+            stopped.add(occ.occ_id)
+            stopped.update(chase.anchor_descendants(occ.occ_id))
+    return Derivation(initial, steps)

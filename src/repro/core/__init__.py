@@ -1,0 +1,1 @@
+"""Relational substrate: terms, atoms, instances, homomorphisms, equality types, parsing, conjunctive queries."""

@@ -1,0 +1,61 @@
+"""Cores of instances.
+
+The *core* of an instance is its smallest retract: a subinstance to which
+the whole instance maps homomorphically, with no smaller such subinstance.
+Cores are the canonical minimal universal solutions in data exchange
+[Fagin, Kolaitis, Popa] and give the yardstick for "how much smaller" the
+restricted chase's output is than the oblivious chase's — both contain the
+core, and the gap between them is redundancy the core quantifies.
+
+The computation is the classical greedy retraction: repeatedly look for an
+endomorphism whose image misses some atom, restrict to the image, and
+repeat.  Worst-case exponential (core identification is NP-hard), fine at
+the instance sizes this library works with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import homomorphisms
+from repro.core.instance import Instance
+from repro.core.terms import Term
+
+
+def proper_retraction(instance: Instance) -> Optional[Dict[Term, Term]]:
+    """An endomorphism of ``instance`` whose atom image is a proper subset,
+
+    or None when the instance is already a core."""
+    atoms = instance.sorted_atoms()
+    for h in homomorphisms(atoms, instance):
+        image: Set[Atom] = {atom.apply(h) for atom in atoms}
+        if len(image) < len(atoms):
+            return h
+    return None
+
+
+def core_of(instance: Instance, max_rounds: int = 1_000) -> Instance:
+    """The core of ``instance`` (unique up to isomorphism).
+
+    Greedy folding: apply proper retractions until none exists.  Constants
+    are rigid (homomorphisms fix them), so only null-carrying redundancy is
+    folded away.
+    """
+    current = instance.copy()
+    for _ in range(max_rounds):
+        retraction = proper_retraction(current)
+        if retraction is None:
+            return current
+        current = Instance(atom.apply(retraction) for atom in current)
+    raise RuntimeError(f"core computation did not converge in {max_rounds} rounds")
+
+
+def is_core(instance: Instance) -> bool:
+    """Is the instance its own core (no proper retraction)?"""
+    return proper_retraction(instance) is None
+
+
+def redundancy(instance: Instance) -> int:
+    """How many atoms the core folds away: ``|I| - |core(I)|``."""
+    return len(instance) - len(core_of(instance))

@@ -1,0 +1,209 @@
+"""Homomorphisms between sets of atoms (Section 2).
+
+A homomorphism from a set of atoms ``A`` to a set of atoms ``B`` is a
+substitution ``h`` from the terms of ``A`` to the terms of ``B`` such that
+
+* ``h(c) = c`` for every constant ``c`` (condition (i)), and
+* ``R(t1,...,tn) ∈ A`` implies ``R(h(t1),...,h(tn)) ∈ B`` (condition (ii)).
+
+Variables and nulls may be mapped freely.  Several constructions in the
+paper additionally *freeze* some non-constant terms (the stop relation
+``≺s`` fixes the frontier terms; Definition 3.1's active-trigger test fixes
+``h|fr(σ)``); the ``frozen`` parameter supports that.
+
+The search is a straightforward backtracking join with per-predicate
+indexing and a fail-first atom ordering; it is the single matching engine
+used by triggers, the stop relation, conjunctive queries, and isomorphism
+tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Term
+
+
+def _as_index(target) -> Instance:
+    """Normalize ``target`` into an :class:`Instance` for indexed lookup."""
+    if isinstance(target, Instance):
+        return target
+    return Instance(target)
+
+
+def match_atom(
+    pattern: Atom,
+    target: Atom,
+    partial: Optional[Dict[Term, Term]] = None,
+    frozen: frozenset = frozenset(),
+) -> Optional[Dict[Term, Term]]:
+    """Try to extend ``partial`` so that the extension maps ``pattern`` onto ``target``.
+
+    Returns the extended binding dict, or None when the atoms cannot be
+    unified under the homomorphism rules (constants and frozen terms are
+    rigid; other terms bind consistently).  ``partial`` is not mutated.
+    """
+    if pattern.predicate != target.predicate or pattern.arity != target.arity:
+        return None
+    binding: Dict[Term, Term] = dict(partial) if partial else {}
+    for source_term, target_term in zip(pattern.terms, target.terms):
+        if isinstance(source_term, Constant) or source_term in frozen:
+            if source_term != target_term:
+                return None
+            continue
+        bound = binding.get(source_term)
+        if bound is None:
+            binding[source_term] = target_term
+        elif bound != target_term:
+            return None
+    return binding
+
+
+def _order_atoms(atoms: Sequence[Atom], bound: Set[Term]) -> List[Atom]:
+    """Greedy fail-first ordering: prefer atoms sharing terms with ``bound``.
+
+    Connected atoms are matched early so bindings propagate and prune the
+    search; ties are broken deterministically.
+    """
+    remaining = list(atoms)
+    ordered: List[Atom] = []
+    known = set(bound)
+    while remaining:
+        def score(atom: Atom) -> tuple:
+            free = sum(
+                1
+                for t in set(atom.terms)
+                if not isinstance(t, Constant) and t not in known
+            )
+            return (free, atom.sort_key())
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        ordered.append(best)
+        known.update(best.terms)
+    return ordered
+
+
+def homomorphisms(
+    source: Iterable[Atom],
+    target,
+    partial: Optional[Dict[Term, Term]] = None,
+    frozen: Iterable[Term] = (),
+    order: str = "fail-first",
+) -> Iterator[Dict[Term, Term]]:
+    """Generate every homomorphism from ``source`` into ``target``.
+
+    ``partial`` is a pre-existing binding that every generated homomorphism
+    must extend; ``frozen`` lists non-constant terms that must map to
+    themselves.  Yields plain dicts (term -> term); each yielded dict is an
+    independent copy.
+
+    ``order`` selects the atom ordering: ``"fail-first"`` (default — match
+    connected atoms early so bindings prune the search) or ``"given"``
+    (take the source in its written order; the ablation baseline).
+    """
+    source_atoms = list(source)
+    index = _as_index(target)
+    frozen_set = frozenset(frozen)
+    start: Dict[Term, Term] = dict(partial) if partial else {}
+    bound_terms = set(start)
+    if order == "fail-first":
+        ordered = _order_atoms(source_atoms, bound_terms)
+    elif order == "given":
+        ordered = list(source_atoms)
+    else:
+        raise ValueError(f"unknown atom order {order!r}")
+
+    def search(i: int, binding: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+        if i == len(ordered):
+            yield dict(binding)
+            return
+        pattern = ordered[i]
+        for candidate in index.with_predicate(pattern.predicate):
+            extended = match_atom(pattern, candidate, binding, frozen_set)
+            if extended is not None:
+                yield from search(i + 1, extended)
+
+    yield from search(0, start)
+
+
+def find_homomorphism(
+    source: Iterable[Atom],
+    target,
+    partial: Optional[Dict[Term, Term]] = None,
+    frozen: Iterable[Term] = (),
+) -> Optional[Dict[Term, Term]]:
+    """The first homomorphism found, or None."""
+    for h in homomorphisms(source, target, partial, frozen):
+        return h
+    return None
+
+
+def has_homomorphism(
+    source: Iterable[Atom],
+    target,
+    partial: Optional[Dict[Term, Term]] = None,
+    frozen: Iterable[Term] = (),
+) -> bool:
+    """True iff some homomorphism from ``source`` into ``target`` exists."""
+    return find_homomorphism(source, target, partial, frozen) is not None
+
+
+def apply_homomorphism(h: Dict[Term, Term], atoms: Iterable[Atom]) -> List[Atom]:
+    """Apply a binding dict to a collection of atoms."""
+    return [atom.apply(h) for atom in atoms]
+
+
+def is_homomorphism(h: Dict[Term, Term], source: Iterable[Atom], target) -> bool:
+    """Check conditions (i) and (ii) of the definition for a given map."""
+    if any(isinstance(s, Constant) and s != t for s, t in h.items()):
+        return False
+    index = _as_index(target)
+    return all(atom.apply(h) in index for atom in source)
+
+
+def is_isomorphism(h: Dict[Term, Term], source: Iterable[Atom], target) -> bool:
+    """True iff ``h`` is 1-1 and its inverse is a homomorphism back (Appendix A)."""
+    source_atoms = list(source)
+    index = _as_index(target)
+    if not is_homomorphism(h, source_atoms, index):
+        return False
+    if len(set(h.values())) != len(h):
+        return False
+    inverse = {v: k for k, v in h.items()}
+    image_atoms = [a.apply(h) for a in source_atoms]
+    if {a for a in image_atoms} != index.atoms():
+        return False
+    return is_homomorphism(inverse, index, Instance(source_atoms))
+
+
+def are_isomorphic(left: Iterable[Atom], right: Iterable[Atom]) -> bool:
+    """True iff the two atom sets are isomorphic (bijective renaming of
+
+    nulls/variables that preserves and reflects atoms, identity on
+    constants)."""
+    left_atoms = list(left)
+    right_atoms = list(right)
+    left_instance = Instance(left_atoms)
+    right_instance = Instance(right_atoms)
+    if len(left_instance) != len(right_instance):
+        return False
+    for h in homomorphisms(left_instance.atoms(), right_instance):
+        full = dict(h)
+        for term in left_instance.domain():
+            full.setdefault(term, term)
+        if is_isomorphism(full, left_instance, right_instance):
+            return True
+    return False
+
+
+def endomorphism_onto(source: Instance, subset: Set[Atom]) -> Optional[Dict[Term, Term]]:
+    """A homomorphism from ``source`` into ``subset`` of itself, if any.
+
+    Utility for core computations / redundancy checks (used when studying
+    how much smaller restricted-chase results are than oblivious ones).
+    """
+    return find_homomorphism(source.atoms(), Instance(subset))

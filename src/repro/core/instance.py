@@ -1,0 +1,253 @@
+"""Instances, databases, and multiset instances.
+
+An *instance* is a (possibly large but here always finite) set of atoms over
+constants and nulls; a *database* is a finite set of facts (constants only).
+The weakly restricted chase of Appendix C operates on *multiset* instances,
+where syntactically equal atoms coming from different mirror copies are
+distinct; :class:`MultisetInstance` models those via tagged occurrences.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.schema import Schema
+from repro.core.terms import Constant, Null, Term, Variable
+
+
+class Instance:
+    """A mutable set of ground atoms with a per-predicate index.
+
+    The index makes homomorphism search and active-trigger checks cheap:
+    candidates for a body atom are looked up by predicate instead of scanning
+    the whole instance.
+    """
+
+    def __init__(self, atoms: Optional[Iterable[Atom]] = None):
+        self._atoms: Set[Atom] = set()
+        self._by_predicate: Dict[str, Set[Atom]] = {}
+        if atoms is not None:
+            for atom in atoms:
+                self.add(atom)
+
+    def add(self, atom: Atom) -> bool:
+        """Insert ``atom``; returns True iff it was not already present."""
+        if not isinstance(atom, Atom):
+            raise TypeError(f"instances contain atoms, got {atom!r}")
+        if atom.variables():
+            raise ValueError(f"instances contain ground atoms only, got {atom}")
+        if atom in self._atoms:
+            return False
+        self._atoms.add(atom)
+        self._by_predicate.setdefault(atom.predicate, set()).add(atom)
+        return True
+
+    def update(self, atoms: Iterable[Atom]) -> int:
+        """Insert many atoms; returns how many were new."""
+        return sum(1 for atom in atoms if self.add(atom))
+
+    def discard(self, atom: Atom) -> bool:
+        """Remove ``atom`` if present; returns True iff it was present."""
+        if atom not in self._atoms:
+            return False
+        self._atoms.discard(atom)
+        bucket = self._by_predicate.get(atom.predicate)
+        if bucket is not None:
+            bucket.discard(atom)
+            if not bucket:
+                del self._by_predicate[atom.predicate]
+        return True
+
+    def with_predicate(self, predicate: str) -> Set[Atom]:
+        """All atoms whose predicate is ``predicate`` (possibly empty)."""
+        return self._by_predicate.get(predicate, set())
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._atoms
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __bool__(self) -> bool:
+        return bool(self._atoms)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Instance):
+            return self._atoms == other._atoms
+        if isinstance(other, (set, frozenset)):
+            return self._atoms == other
+        return NotImplemented
+
+    def atoms(self) -> Set[Atom]:
+        """A copy of the underlying atom set."""
+        return set(self._atoms)
+
+    def sorted_atoms(self) -> list:
+        """Atoms in deterministic order."""
+        return sorted(self._atoms, key=Atom.sort_key)
+
+    def copy(self) -> "Instance":
+        clone = Instance()
+        clone._atoms = set(self._atoms)
+        clone._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
+        return clone
+
+    def domain(self) -> Set[Term]:
+        """The active domain ``dom(I)``: all terms occurring in the instance."""
+        dom: Set[Term] = set()
+        for atom in self._atoms:
+            dom.update(atom.terms)
+        return dom
+
+    def constants(self) -> Set[Constant]:
+        return {t for t in self.domain() if isinstance(t, Constant)}
+
+    def nulls(self) -> Set[Null]:
+        return {t for t in self.domain() if isinstance(t, Null)}
+
+    def predicates(self) -> Set[str]:
+        return set(self._by_predicate)
+
+    def schema(self) -> Schema:
+        """The schema induced by the atoms of this instance."""
+        return Schema.from_atoms(self._atoms)
+
+    def is_database(self) -> bool:
+        """True iff every atom is a fact (constants only)."""
+        return all(atom.is_fact for atom in self._atoms)
+
+    def __repr__(self) -> str:
+        atoms = ", ".join(repr(a) for a in self.sorted_atoms())
+        return f"Instance({{{atoms}}})"
+
+
+class Database(Instance):
+    """A finite set of facts: atoms over constants only (Section 2)."""
+
+    def add(self, atom: Atom) -> bool:
+        if not atom.is_fact:
+            raise ValueError(f"databases contain facts only, got {atom}")
+        return super().add(atom)
+
+    def copy(self) -> "Database":
+        clone = Database()
+        clone.update(self.atoms())
+        return clone
+
+    def __repr__(self) -> str:
+        atoms = ", ".join(repr(a) for a in self.sorted_atoms())
+        return f"Database({{{atoms}}})"
+
+
+class Occurrence:
+    """One occurrence of an atom inside a :class:`MultisetInstance`.
+
+    Two occurrences of the same atom are distinct objects, distinguished by
+    their ``tag`` (the paper treats syntactically equal mirror-image atoms
+    of ``D_ac`` "as different atoms", Appendix C.2).
+    """
+
+    __slots__ = ("atom", "tag")
+
+    def __init__(self, atom: Atom, tag):
+        self.atom = atom
+        self.tag = tag
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Occurrence)
+            and self.atom == other.atom
+            and self.tag == other.tag
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.atom, self.tag))
+
+    def __repr__(self) -> str:
+        return f"{self.atom}#{self.tag}"
+
+
+class MultisetInstance:
+    """A multiset of atoms, realized as a set of tagged occurrences.
+
+    Supports the operations needed by the weakly restricted chase
+    (Definition C.4) and the ``Extract`` procedure: occurrence insertion,
+    iteration over occurrences, and a plain-set view of the atoms.
+    """
+
+    def __init__(self, occurrences: Optional[Iterable[Occurrence]] = None):
+        self._occurrences: Set[Occurrence] = set()
+        self._by_predicate: Dict[str, Set[Occurrence]] = {}
+        self._counts: Dict[Atom, int] = {}
+        if occurrences is not None:
+            for occ in occurrences:
+                self.add_occurrence(occ)
+
+    def add_occurrence(self, occurrence: Occurrence) -> bool:
+        """Insert a tagged occurrence; returns True iff it was new."""
+        if occurrence in self._occurrences:
+            return False
+        self._occurrences.add(occurrence)
+        self._by_predicate.setdefault(occurrence.atom.predicate, set()).add(occurrence)
+        self._counts[occurrence.atom] = self._counts.get(occurrence.atom, 0) + 1
+        return True
+
+    def add_atom(self, atom: Atom, tag) -> Occurrence:
+        """Insert ``atom`` with ``tag`` and return the occurrence."""
+        occ = Occurrence(atom, tag)
+        self.add_occurrence(occ)
+        return occ
+
+    def with_predicate(self, predicate: str) -> Set[Occurrence]:
+        return self._by_predicate.get(predicate, set())
+
+    def multiplicity(self, atom: Atom) -> int:
+        """How many occurrences of ``atom`` the multiset holds."""
+        return self._counts.get(atom, 0)
+
+    def atom_set(self) -> Set[Atom]:
+        """The plain set of atoms (collapsing multiplicities)."""
+        return set(self._counts)
+
+    def to_instance(self) -> Instance:
+        """The set-semantics view of this multiset."""
+        return Instance(self._counts)
+
+    def occurrences(self) -> Set[Occurrence]:
+        return set(self._occurrences)
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, Occurrence):
+            return item in self._occurrences
+        if isinstance(item, Atom):
+            return item in self._counts
+        return False
+
+    def __iter__(self) -> Iterator[Occurrence]:
+        return iter(self._occurrences)
+
+    def __len__(self) -> int:
+        return len(self._occurrences)
+
+    def copy(self) -> "MultisetInstance":
+        clone = MultisetInstance()
+        clone._occurrences = set(self._occurrences)
+        clone._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
+        clone._counts = dict(self._counts)
+        return clone
+
+    def domain(self) -> Set[Term]:
+        dom: Set[Term] = set()
+        for occ in self._occurrences:
+            dom.update(occ.atom.terms)
+        return dom
+
+    def __repr__(self) -> str:
+        occs = ", ".join(
+            repr(o) for o in sorted(self._occurrences, key=lambda o: (o.atom.sort_key(), str(o.tag)))
+        )
+        return f"MultisetInstance({{{occs}}})"

@@ -1,0 +1,189 @@
+"""Textual syntax for atoms, databases, TGDs, and conjunctive queries.
+
+Grammar (whitespace-insensitive)::
+
+    atom      ::=  NAME '(' term (',' term)* ')'
+    term      ::=  NAME            (variable in rules, constant in data)
+                |  '?' NAME        (labeled null, data only)
+    tgd       ::=  atom (',' atom)*  '->'  atom (',' atom)*
+    query     ::=  NAME '(' vars ')' ':-' atom (',' atom)*
+
+In a TGD, head variables that do not occur in the body are existentially
+quantified (the paper writes them under ``∃``); TGDs are constant-free as
+in Section 2.  ``->`` may also be written ``→``.
+
+Examples::
+
+    parse_tgd("R(x,y), P(y,z) -> T(x,y,w)")     # w is existential
+    parse_database("R(a,b), S(b,c)")
+    parse_instance("R(a,?n1)")
+    parse_query("Q(x) :- R(x,y), S(y,x)")
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence, Tuple, Union
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database, Instance
+from repro.core.terms import Constant, Null, Term, Variable
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<null>\?[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*|\d+)"
+    r"|(?P<arrow>->|→)"
+    r"|(?P<entails>:-)"
+    r"|(?P<punct>[(),]))"
+)
+
+
+class ParseError(ValueError):
+    """Raised on malformed input text."""
+
+
+def _tokenize(text: str) -> List[Tuple[str, str]]:
+    tokens: List[Tuple[str, str]] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            if not remainder:
+                break
+            raise ParseError(f"unexpected input at: {remainder[:30]!r}")
+        position = match.end()
+        for kind in ("null", "name", "arrow", "entails", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+class _TokenStream:
+    def __init__(self, tokens: Sequence[Tuple[str, str]]):
+        self._tokens = list(tokens)
+        self._index = 0
+
+    def peek(self) -> Tuple[str, str] | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def next(self) -> Tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of input")
+        self._index += 1
+        return token
+
+    def expect(self, kind: str, value: str | None = None) -> str:
+        got_kind, got_value = self.next()
+        if got_kind != kind or (value is not None and got_value != value):
+            raise ParseError(f"expected {value or kind}, got {got_value!r}")
+        return got_value
+
+    def exhausted(self) -> bool:
+        return self._index >= len(self._tokens)
+
+
+def _parse_term(stream: _TokenStream, data_mode: bool) -> Term:
+    kind, value = stream.next()
+    if kind == "null":
+        if not data_mode:
+            raise ParseError(f"nulls like {value!r} are not allowed in rules")
+        return Null(value[1:])
+    if kind != "name":
+        raise ParseError(f"expected a term, got {value!r}")
+    if data_mode:
+        return Constant(value)
+    return Variable(value)
+
+
+def _parse_atom(stream: _TokenStream, data_mode: bool) -> Atom:
+    predicate = stream.expect("name")
+    stream.expect("punct", "(")
+    terms: List[Term] = [_parse_term(stream, data_mode)]
+    while True:
+        kind, value = stream.next()
+        if (kind, value) == ("punct", ")"):
+            break
+        if (kind, value) != ("punct", ","):
+            raise ParseError(f"expected ',' or ')', got {value!r}")
+        terms.append(_parse_term(stream, data_mode))
+    return Atom(predicate, terms)
+
+
+def _parse_atom_list(stream: _TokenStream, data_mode: bool) -> List[Atom]:
+    atoms = [_parse_atom(stream, data_mode)]
+    while True:
+        token = stream.peek()
+        if token != ("punct", ","):
+            break
+        stream.next()
+        atoms.append(_parse_atom(stream, data_mode))
+    return atoms
+
+
+def parse_atom(text: str, data: bool = False) -> Atom:
+    """Parse a single atom; ``data=True`` reads names as constants."""
+    stream = _TokenStream(_tokenize(text))
+    atom = _parse_atom(stream, data_mode=data)
+    if not stream.exhausted():
+        raise ParseError(f"trailing input after atom in {text!r}")
+    return atom
+
+
+def parse_atoms(text: Union[str, Iterable[str]], data: bool = False) -> List[Atom]:
+    """Parse a comma-separated atom list (or an iterable of atom strings)."""
+    if not isinstance(text, str):
+        return [parse_atom(part, data=data) for part in text]
+    stream = _TokenStream(_tokenize(text))
+    atoms = _parse_atom_list(stream, data_mode=data)
+    if not stream.exhausted():
+        raise ParseError(f"trailing input after atoms in {text!r}")
+    return atoms
+
+
+def parse_database(text: Union[str, Iterable[str]]) -> Database:
+    """Parse a database: a set of facts with constants only."""
+    return Database(parse_atoms(text, data=True))
+
+
+def parse_instance(text: Union[str, Iterable[str]]) -> Instance:
+    """Parse an instance: facts may also contain ``?``-prefixed nulls."""
+    return Instance(parse_atoms(text, data=True))
+
+
+def parse_rule_parts(text: str) -> Tuple[List[Atom], List[Atom]]:
+    """Split ``body -> head`` into parsed body and head atom lists."""
+    stream = _TokenStream(_tokenize(text))
+    body = _parse_atom_list(stream, data_mode=False)
+    stream.expect("arrow")
+    head = _parse_atom_list(stream, data_mode=False)
+    if not stream.exhausted():
+        raise ParseError(f"trailing input after rule in {text!r}")
+    if not body or not head:
+        raise ParseError("TGDs need a non-empty body and head")
+    return body, head
+
+
+def parse_query_parts(text: str) -> Tuple[str, List[Variable], List[Atom]]:
+    """Split ``Q(x,y) :- body`` into (name, answer variables, body atoms)."""
+    stream = _TokenStream(_tokenize(text))
+    head = _parse_atom(stream, data_mode=False)
+    stream.expect("entails")
+    body = _parse_atom_list(stream, data_mode=False)
+    if not stream.exhausted():
+        raise ParseError(f"trailing input after query in {text!r}")
+    answer_vars: List[Variable] = []
+    for term in head.terms:
+        if not isinstance(term, Variable):
+            raise ParseError("query head terms must be variables")
+        answer_vars.append(term)
+    body_vars = {v for atom in body for v in atom.variables()}
+    for var in answer_vars:
+        if var not in body_vars:
+            raise ParseError(f"answer variable {var!r} not in query body")
+    return head.predicate, answer_vars, body

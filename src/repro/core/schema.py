@@ -1,0 +1,94 @@
+"""Schemas: finite sets of relation symbols with associated arities."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.core.atoms import Atom
+
+
+class Schema:
+    """A schema ``S``: a finite map from predicate names to arities.
+
+    Provides the position set of the paper (pairs ``(R, i)``) and validation
+    of atoms against the schema.
+    """
+
+    def __init__(self, arities: Dict[str, int] | None = None):
+        self._arities: Dict[str, int] = {}
+        if arities:
+            for predicate, arity in arities.items():
+                self.add(predicate, arity)
+
+    def add(self, predicate: str, arity: int) -> None:
+        """Register ``predicate`` with ``arity``; reject arity conflicts."""
+        if arity <= 0:
+            raise ValueError(f"arity of {predicate} must be positive, got {arity}")
+        existing = self._arities.get(predicate)
+        if existing is not None and existing != arity:
+            raise ValueError(
+                f"predicate {predicate} already has arity {existing}, got {arity}"
+            )
+        self._arities[predicate] = arity
+
+    def arity(self, predicate: str) -> int:
+        """The paper's ``ar(R)``."""
+        try:
+            return self._arities[predicate]
+        except KeyError:
+            raise KeyError(f"unknown predicate {predicate!r}") from None
+
+    def __contains__(self, predicate: str) -> bool:
+        return predicate in self._arities
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._arities))
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self._arities == other._arities
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._arities.items()))
+
+    @property
+    def max_arity(self) -> int:
+        """The paper's ``ar(S)``: maximum arity over all predicates (0 if empty)."""
+        return max(self._arities.values(), default=0)
+
+    def positions(self) -> List[Tuple[str, int]]:
+        """All positions ``(R, i)`` of the schema, 1-based, in sorted order."""
+        return [
+            (predicate, i)
+            for predicate in sorted(self._arities)
+            for i in range(1, self._arities[predicate] + 1)
+        ]
+
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise if ``atom`` uses an unknown predicate or the wrong arity."""
+        expected = self.arity(atom.predicate)
+        if atom.arity != expected:
+            raise ValueError(
+                f"atom {atom} has arity {atom.arity}, schema says {expected}"
+            )
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Atom]) -> "Schema":
+        """Infer a schema from a collection of atoms."""
+        schema = Schema()
+        for atom in atoms:
+            schema.add(atom.predicate, atom.arity)
+        return schema
+
+    def merge(self, other: "Schema") -> "Schema":
+        """Union of two schemas; raises on arity conflicts."""
+        merged = Schema(dict(self._arities))
+        for predicate in other:
+            merged.add(predicate, other.arity(predicate))
+        return merged
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{p}/{a}" for p, a in sorted(self._arities.items()))
+        return f"Schema({inner})"

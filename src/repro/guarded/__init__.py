@@ -1,0 +1,1 @@
+"""The guarded case (Section 5): chaseable sets, join trees, treeification, abstract join trees, the certifying decision procedure."""

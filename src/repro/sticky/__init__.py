@@ -1,0 +1,1 @@
+"""The sticky case (Section 6): caterpillars, caterpillar words, the Buechi automaton family, the complete decision procedure."""

@@ -1,0 +1,272 @@
+"""The caterpillar Büchi automaton (Appendix D.2, Lemma 6.12).
+
+For a sticky set ``T``, a deterministic Büchi automaton over caterpillar
+words whose language is non-empty iff a free connected caterpillar for
+``T`` exists — iff some database admits an infinite restricted chase
+derivation (Theorem 6.5), iff ``T ∉ CT_res_∀∀`` (with Theorem 4.1).
+
+One automaton per start pair ``(e0, Π0)`` (equality type of the first body
+atom, positions of the first relay term); the union ranges over the finite
+set ``etp_T``.  Each automaton is the product of the paper's three machines,
+built here as a single state tuple:
+
+* the ``A_pc`` component: the equality type of the current body atom
+  (transition ``δ_et``);
+* the ``A_qc`` component: the set ``Θ`` of T-equality types of all previous
+  body atoms *relative to the current one* (Lemma D.3 makes this finite
+  summary sound for the stop-relation check);
+* the ``A_cc`` component: the position sets ``Π1`` (current relay term) and
+  ``Π2`` (all relay terms) plus the Büchi flag, with ``δ_pos`` propagation,
+  loss-of-relay rejection, and immortal-position rejection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.automata.buchi import BuchiAutomaton, Lasso, StateBudgetExceeded
+from repro.core.equality import (
+    EqualityType,
+    LabeledEqualityType,
+    enumerate_equality_types,
+)
+from repro.sticky.alphabet import CaterpillarSymbol, caterpillar_alphabet
+from repro.tgds.stickiness import StickinessAnalysis
+from repro.tgds.tgd import TGD, schema_of
+
+
+class CaterpillarState:
+    """One product state ``(e, Θ, Π1, Π2, accepting)``."""
+
+    __slots__ = ("etype", "theta", "pi1", "pi2", "accepting", "_hash")
+
+    def __init__(
+        self,
+        etype: EqualityType,
+        theta: FrozenSet[LabeledEqualityType],
+        pi1: FrozenSet[int],
+        pi2: FrozenSet[int],
+        accepting: bool,
+    ):
+        self.etype = etype
+        self.theta = theta
+        self.pi1 = pi1
+        self.pi2 = pi2
+        self.accepting = accepting
+        self._hash = hash((etype, theta, pi1, pi2, accepting))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, CaterpillarState)
+            and self._hash == other._hash
+            and self.etype == other.etype
+            and self.theta == other.theta
+            and self.pi1 == other.pi1
+            and self.pi2 == other.pi2
+            and self.accepting == other.accepting
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        mark = "✓" if self.accepting else "·"
+        return (
+            f"State[{self.etype}, |Θ|={len(self.theta)}, "
+            f"Π1={sorted(self.pi1)}, Π2={sorted(self.pi2)} {mark}]"
+        )
+
+
+class CaterpillarAutomatonFamily:
+    """The family ``{A_{e0,Π0}}`` for one sticky TGD set.
+
+    ``transition`` implements the three components at once; the start pairs
+    enumerate ``etp_T``.
+    """
+
+    def __init__(self, tgds: Sequence[TGD], max_states: int = 100_000):
+        self.tgds: Tuple[TGD, ...] = tuple(tgds)
+        self.marking = StickinessAnalysis(self.tgds)
+        if not self.marking.is_sticky:
+            raise ValueError("the caterpillar automaton requires a sticky set")
+        self.alphabet: List[CaterpillarSymbol] = caterpillar_alphabet(self.tgds)
+        self.max_states = max_states
+
+    # -- start pairs ---------------------------------------------------------
+
+    def start_pairs(self) -> Iterator[Tuple[EqualityType, FrozenSet[int]]]:
+        """All ``(e0, Π0) ∈ etp_T``: every equality type of every predicate
+
+        of ``sch(T)``, with ``Π0`` ranging over its classes (the positions of
+        the first relay term — one term, hence one class).
+
+        Finer partitions are enumerated first: the generic (free) caterpillar
+        has a maximally-distinct first atom, so witnesses extracted from the
+        first non-empty component satisfy Definition 6.8 verbatim whenever a
+        distinct-term start suffices.
+        """
+        schema = schema_of(self.tgds)
+        for predicate in schema:
+            types = sorted(
+                enumerate_equality_types(predicate, schema.arity(predicate)),
+                key=lambda e: (-len(e.partition), repr(e)),
+            )
+            for etype in types:
+                for cls in etype.partition:
+                    yield etype, frozenset(cls)
+
+    def initial_state(self, etype: EqualityType, pi0: FrozenSet[int]) -> CaterpillarState:
+        return CaterpillarState(etype, frozenset(), pi0, pi0, False)
+
+    def component(self, etype: EqualityType, pi0: FrozenSet[int]) -> BuchiAutomaton:
+        """The deterministic Büchi automaton ``A_{e0,Π0}``."""
+        return BuchiAutomaton(
+            initial=self.initial_state(etype, pi0),
+            alphabet=self.alphabet,
+            transition=self.transition,
+            is_accepting=lambda state: state.accepting,
+            max_states=self.max_states,
+        )
+
+    # -- the transition function ---------------------------------------------
+
+    def transition(
+        self, state: CaterpillarState, symbol: CaterpillarSymbol
+    ) -> Optional[CaterpillarState]:
+        """One ``δ`` step; None = reject (the implicit dead state)."""
+        tgd = self.tgds[symbol.tgd_index]
+        gamma = tgd.body[symbol.body_index]
+        e = state.etype
+        if gamma.predicate != e.predicate or gamma.arity != e.arity:
+            return None
+        # A_pc: a homomorphism γ → can(e) needs repeated variables of γ to
+        # sit at e-equal positions.
+        for l in range(1, gamma.arity + 1):
+            for l2 in range(l + 1, gamma.arity + 1):
+                if gamma[l] == gamma[l2] and not e.same(l, l2):
+                    return None
+        head = tgd.head
+        # The e-class each γ-variable is bound to.
+        var_class: Dict = {}
+        for l in range(1, gamma.arity + 1):
+            var_class.setdefault(gamma[l], e.class_of(l))
+        # Value tokens of the new atom's positions: an old term (its e-class),
+        # a fresh leg term (per frontier variable outside γ), or a fresh null
+        # (per existential variable).  Generic caterpillar semantics: anything
+        # not forced equal is distinct (freeness).
+        values: Dict[int, tuple] = {}
+        for k in range(1, head.arity + 1):
+            var = head[k]
+            if var in tgd.frontier:
+                if var in var_class:
+                    values[k] = ("old", var_class[var])
+                else:
+                    values[k] = ("leg", var)
+            else:
+                values[k] = ("ex", var)
+        groups: Dict[tuple, Set[int]] = {}
+        for k, value in values.items():
+            groups.setdefault(value, set()).add(k)
+        new_etype = EqualityType(
+            head.predicate, (frozenset(g) for g in groups.values())
+        )
+        old_class: Dict[int, Optional[FrozenSet[int]]] = {
+            k: (value[1] if value[0] == "old" else None)
+            for k, value in values.items()
+        }
+        # Survival map m: e-class -> new-class, for terms that propagate.
+        survival: Dict[FrozenSet[int], FrozenSet[int]] = {}
+        for k, value in values.items():
+            if value[0] == "old":
+                survival[value[1]] = new_etype.class_of(k)
+
+        # A_qc: reject when any previous body atom (or the current one)
+        # stops the new atom (Lemma D.3's type-level check).
+        frontier_positions = tgd.frontier_head_positions()
+        theta_self = LabeledEqualityType(e, {cls: cls for cls in e.partition})
+        for theta in list(state.theta) + [theta_self]:
+            if self._stops(theta, new_etype, old_class, frontier_positions):
+                return None
+        new_theta = frozenset(
+            theta.relabel(survival) for theta in list(state.theta) + [theta_self]
+        )
+
+        # A_cc: relay propagation.  δ_pos(Π) = positions whose term is an old
+        # term whose class lies inside Π (Π is a union of e-classes).
+        def delta_pos(pi: FrozenSet[int]) -> FrozenSet[int]:
+            return frozenset(
+                k
+                for k, cls in old_class.items()
+                if cls is not None and cls <= pi
+            )
+
+        carried_pi1 = delta_pos(state.pi1)
+        if not carried_pi1:
+            return None  # the current relay term was dropped
+        carried_pi2 = delta_pos(state.pi2)
+        for k in carried_pi2 | symbol.passes_on:
+            if not self.marking.is_marked(symbol.tgd_index, head[k]):
+                return None  # a relay term reached an immortal position
+        if symbol.passes_on:
+            new_pi1 = frozenset(symbol.passes_on)
+            new_pi2 = new_pi1 | carried_pi1 | carried_pi2
+            accepting = True
+        else:
+            new_pi1 = carried_pi1
+            new_pi2 = carried_pi1 | carried_pi2
+            accepting = False
+        return CaterpillarState(new_etype, new_theta, new_pi1, new_pi2, accepting)
+
+    @staticmethod
+    def _stops(
+        theta: LabeledEqualityType,
+        new_etype: EqualityType,
+        old_class: Dict[int, Optional[FrozenSet[int]]],
+        frontier_positions: FrozenSet[int],
+    ) -> bool:
+        """Does ``can(θ) ≺s`` the new atom? (θ is relative to the previous
+
+        atom's terms; freeness makes this sufficient — Lemma D.3.)"""
+        if theta.predicate != new_etype.predicate or theta.arity != new_etype.arity:
+            return False
+        # Well-definedness: equal terms of the new atom must map to equal
+        # terms of can(θ).
+        for cls in new_etype.partition:
+            positions = sorted(cls)
+            first = theta.etype.class_of(positions[0])
+            if any(theta.etype.class_of(p) != first for p in positions[1:]):
+                return False
+        # Frontier terms must be fixed: the new atom's frontier positions
+        # carry previous-atom terms that can(θ) exhibits at the same spot.
+        for k in frontier_positions:
+            previous_class = old_class.get(k)
+            if previous_class is None:
+                return False  # a brand-new term cannot occur in an old atom
+            if theta.label_of_position(k) != previous_class:
+                return False
+        return True
+
+    # -- emptiness over the union ---------------------------------------------
+
+    def find_counterexample(
+        self,
+    ) -> Optional[Tuple[EqualityType, FrozenSet[int], Lasso]]:
+        """A lasso of some component — i.e. a free connected caterpillar —
+
+        or None when ``L(A_T) = ∅`` (then ``T ∈ CT_res_∀∀``)."""
+        for etype, pi0 in self.start_pairs():
+            automaton = self.component(etype, pi0)
+            lasso = automaton.find_lasso()
+            if lasso is not None:
+                return etype, pi0, lasso
+        return None
+
+    def is_empty(self) -> bool:
+        return self.find_counterexample() is None
+
+    def total_reachable_states(self) -> int:
+        """Σ over start pairs of reachable state counts (benchmark metric)."""
+        total = 0
+        for etype, pi0 in self.start_pairs():
+            total += len(self.component(etype, pi0).reachable_states())
+        return total

@@ -1,0 +1,1 @@
+"""Umbrella analyzer, verdicts with certificates, and the critical-database oblivious baseline."""

@@ -1,0 +1,137 @@
+"""The umbrella termination analyzer.
+
+Classifies a TGD set (linear / guarded / sticky / both / neither), then
+dispatches to the strongest applicable procedure:
+
+* sticky sets → the complete Büchi decision of Theorem 6.1;
+* guarded sets → the certifying procedure of :mod:`repro.guarded.decision`
+  (Theorem 5.1 modulo the documented MSOL substitution);
+* anything else → syntactic certificates and the critical-database
+  oblivious certificate only, since ``CT_res_∀∀`` is undecidable in general
+  (Theorem 3.6) — plus the same replay-certified divergence search, whose
+  positive answers remain sound for arbitrary single-head TGDs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.guarded.decision import decide_guarded
+from repro.sticky.decision import decide_sticky
+from repro.termination.critical import critical_oblivious_verdict
+from repro.termination.verdict import Status, Verdict
+from repro.tgds.acyclicity import (
+    is_jointly_acyclic,
+    is_weakly_acyclic,
+    terminating_certificate,
+)
+from repro.tgds.guardedness import is_guarded, is_linear
+from repro.tgds.stickiness import is_sticky
+from repro.tgds.tgd import TGD
+
+
+class Classification:
+    """Syntactic class membership of a TGD set."""
+
+    def __init__(self, tgds: Sequence[TGD]):
+        tgd_list = list(tgds)
+        self.linear = is_linear(tgd_list)
+        self.guarded = is_guarded(tgd_list)
+        self.sticky = is_sticky(tgd_list)
+        self.weakly_acyclic = is_weakly_acyclic(tgd_list)
+        self.jointly_acyclic = is_jointly_acyclic(tgd_list)
+
+    def labels(self) -> List[str]:
+        out = []
+        for name in ("linear", "guarded", "sticky", "weakly_acyclic", "jointly_acyclic"):
+            if getattr(self, name):
+                out.append(name.replace("_", "-"))
+        return out
+
+    def __repr__(self) -> str:
+        return f"Classification({', '.join(self.labels()) or 'none'})"
+
+
+class TerminationAnalyzer:
+    """One-stop analysis: classify, dispatch, certify."""
+
+    def __init__(
+        self,
+        sticky_max_states: int = 100_000,
+        guarded_max_steps: int = 60,
+        replays: int = 3,
+    ):
+        self.sticky_max_states = sticky_max_states
+        self.guarded_max_steps = guarded_max_steps
+        self.replays = replays
+
+    def classify(self, tgds: Sequence[TGD]) -> Classification:
+        return Classification(tgds)
+
+    def analyze(self, tgds: Sequence[TGD]) -> Verdict:
+        """Decide / semi-decide membership in ``CT_res_∀∀``."""
+        tgd_list = list(tgds)
+        classification = self.classify(tgd_list)
+        if classification.sticky:
+            verdict = decide_sticky(tgd_list, max_states=self.sticky_max_states)
+            if not verdict.is_unknown:
+                return verdict
+        if classification.guarded:
+            return decide_guarded(
+                tgd_list,
+                max_steps=self.guarded_max_steps,
+                replays=self.replays,
+            )
+        # General single-head TGDs: sound certificates + sound witnesses only.
+        certificate = terminating_certificate(tgd_list)
+        if certificate is not None:
+            return Verdict(
+                Status.ALL_TERMINATING,
+                method=certificate,
+                detail=f"syntactic termination certificate: {certificate}",
+            )
+        from repro.termination.mfa import mfa_verdict
+
+        mfa = mfa_verdict(tgd_list)
+        if mfa is not None:
+            return mfa
+        critical = critical_oblivious_verdict(tgd_list)
+        if critical is not None:
+            return critical
+        from repro.guarded.decision import candidate_databases, find_pump
+        from repro.chase.restricted import restricted_chase
+
+        for database in candidate_databases(tgd_list):
+            for strategy in ("lifo", "fifo"):
+                run = restricted_chase(
+                    database, tgd_list, strategy=strategy, max_steps=self.guarded_max_steps
+                )
+                if run.terminated:
+                    continue
+                pump = find_pump(database, tgd_list, run.derivation, replays=self.replays)
+                if pump is not None:
+                    return Verdict(
+                        Status.NOT_ALL_TERMINATING,
+                        method="general-replay",
+                        certificate={"witness": pump},
+                        detail="replay-certified periodic derivation (general TGDs)",
+                    )
+        return Verdict(
+            Status.UNKNOWN,
+            method="general-bounded-search",
+            detail=(
+                "CT_res_∀∀ is undecidable for arbitrary TGDs (Theorem 3.6); "
+                "no certificate or certified witness found within bounds"
+            ),
+        )
+
+    def analyze_corpus(self, corpus: Sequence[Sequence[TGD]]) -> Dict[str, int]:
+        """Tally verdict statuses over a corpus (the X10 'table')."""
+        tally: Dict[str, int] = {
+            Status.ALL_TERMINATING: 0,
+            Status.NOT_ALL_TERMINATING: 0,
+            Status.UNKNOWN: 0,
+        }
+        for tgds in corpus:
+            tally[self.analyze(tgds).status] += 1
+        return tally

@@ -1,0 +1,72 @@
+"""Model-faithful acyclicity (MFA) — the strongest standard certificate.
+
+MFA [Grau et al., JAIR'13]: run the skolem chase on the critical database
+``D*``; if it reaches a fixpoint without ever creating a *cyclic* skolem
+term (a term nesting its own function symbol), then the skolem chase
+terminates on **every** database.  Since a restricted chase derivation
+applies each ``(σ, h|fr)`` class at most once (its first result deactivates
+the rest), universal skolem termination bounds every restricted derivation
+too — so MFA is a sound ``CT_res_∀∀`` certificate, strictly stronger than
+weak and joint acyclicity.
+
+Like every certificate-style condition it is one-sided: MFA failure says
+nothing about the restricted chase (and there are CT_res_∀∀ sets beyond
+every such certificate — otherwise Theorem 3.6's undecidability could not
+hold).  The paper's procedures close this gap completely for guarded and
+sticky sets.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.chase.skolem import SkolemResult, skolem_chase
+from repro.termination.critical import critical_database
+from repro.termination.verdict import Status, Verdict
+from repro.tgds.tgd import TGD
+
+
+def mfa_check(
+    tgds: Sequence[TGD],
+    max_atoms: int = 50_000,
+    max_rounds: int = 500,
+) -> Optional[bool]:
+    """Is the TGD set MFA?
+
+    True — the critical skolem chase reached a fixpoint with no cyclic
+    term (certificate).  False — a cyclic term appeared (MFA fails; says
+    nothing about the restricted chase).  None — budget exhausted without
+    either outcome.
+    """
+    result: SkolemResult = skolem_chase(
+        critical_database(tgds),
+        tgds,
+        max_atoms=max_atoms,
+        max_rounds=max_rounds,
+        stop_on_cycle=True,
+    )
+    if result.cyclic_term is not None:
+        return False
+    if result.terminated:
+        return True
+    return None
+
+
+def mfa_verdict(
+    tgds: Sequence[TGD],
+    max_atoms: int = 50_000,
+    max_rounds: int = 500,
+) -> Optional[Verdict]:
+    """An ``ALL_TERMINATING`` verdict when MFA holds, else None."""
+    if mfa_check(tgds, max_atoms, max_rounds) is True:
+        return Verdict(
+            Status.ALL_TERMINATING,
+            method="mfa",
+            certificate={"critical_database": critical_database(tgds)},
+            detail=(
+                "model-faithful acyclicity: the skolem chase of the critical "
+                "database reaches a fixpoint without cyclic terms, bounding "
+                "every restricted chase derivation of every database"
+            ),
+        )
+    return None

@@ -1,0 +1,62 @@
+"""Verdicts: the answers of the termination decision procedures.
+
+Every decision procedure in this library is *certifying*: a verdict carries
+an artefact that can be re-checked independently (a syntactic certificate
+name, a witness database plus a validated derivation, or an automaton
+lasso).  ``UNKNOWN`` is an honest answer when neither side was established
+within the configured bounds (see DESIGN.md §3 on the MSOL substitution).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+
+class Status:
+    """The three possible answers about membership in ``CT_res_∀∀``."""
+
+    ALL_TERMINATING = "all-terminating"
+    NOT_ALL_TERMINATING = "not-all-terminating"
+    UNKNOWN = "unknown"
+
+
+class Verdict:
+    """Answer + provenance for one TGD set."""
+
+    def __init__(
+        self,
+        status: str,
+        method: str,
+        certificate: Optional[Dict[str, Any]] = None,
+        detail: str = "",
+    ):
+        if status not in (
+            Status.ALL_TERMINATING,
+            Status.NOT_ALL_TERMINATING,
+            Status.UNKNOWN,
+        ):
+            raise ValueError(f"unknown status {status!r}")
+        #: One of the :class:`Status` constants.
+        self.status = status
+        #: Which procedure produced the answer (e.g. "weak-acyclicity",
+        #: "sticky-buchi", "guarded-replay").
+        self.method = method
+        #: Machine-checkable evidence; keys depend on the method.
+        self.certificate = certificate or {}
+        #: Human-readable explanation.
+        self.detail = detail
+
+    @property
+    def is_terminating(self) -> bool:
+        return self.status == Status.ALL_TERMINATING
+
+    @property
+    def is_nonterminating(self) -> bool:
+        return self.status == Status.NOT_ALL_TERMINATING
+
+    @property
+    def is_unknown(self) -> bool:
+        return self.status == Status.UNKNOWN
+
+    def __repr__(self) -> str:
+        return f"Verdict({self.status} via {self.method})"

@@ -1,0 +1,1 @@
+"""Tuple-generating dependencies: single/multi-head TGDs, guardedness, stickiness marking, acyclicity baselines, corpus generators."""

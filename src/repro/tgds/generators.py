@@ -1,0 +1,143 @@
+"""Deterministic random generators for TGD corpora.
+
+The paper has no experimental corpus; these generators create the workloads
+for the benchmark suite (exhibit X10): families of linear / guarded /
+sticky TGD sets with controllable size, arity, and existential density.
+All generation is driven by a seeded ``random.Random`` so corpora are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.core.atoms import Atom
+from repro.core.terms import Variable
+from repro.tgds.guardedness import is_guarded, is_linear
+from repro.tgds.stickiness import is_sticky
+from repro.tgds.tgd import TGD
+from repro.tgds.acyclicity import is_weakly_acyclic
+
+
+class GeneratorProfile:
+    """Knobs for random TGD generation."""
+
+    def __init__(
+        self,
+        num_predicates: int = 3,
+        max_arity: int = 3,
+        num_tgds: int = 3,
+        max_body_atoms: int = 2,
+        existential_probability: float = 0.5,
+    ):
+        if num_predicates < 1 or max_arity < 1 or num_tgds < 1 or max_body_atoms < 1:
+            raise ValueError("profile parameters must be positive")
+        self.num_predicates = num_predicates
+        self.max_arity = max_arity
+        self.num_tgds = num_tgds
+        self.max_body_atoms = max_body_atoms
+        self.existential_probability = existential_probability
+
+
+def _predicate_pool(rng: random.Random, profile: GeneratorProfile) -> List[tuple]:
+    """A pool of (name, arity) pairs."""
+    return [
+        (f"P{i}", rng.randint(1, profile.max_arity))
+        for i in range(profile.num_predicates)
+    ]
+
+
+def _random_tgd(
+    rng: random.Random,
+    predicates: Sequence[tuple],
+    profile: GeneratorProfile,
+    single_body_atom: bool,
+    name: str,
+) -> TGD:
+    """One random TGD: random body over a small variable pool, random head."""
+    body_size = 1 if single_body_atom else rng.randint(1, profile.max_body_atoms)
+    variable_pool = [Variable(f"x{i}") for i in range(profile.max_arity + 2)]
+    body: List[Atom] = []
+    for _ in range(body_size):
+        predicate, arity = rng.choice(list(predicates))
+        body.append(Atom(predicate, [rng.choice(variable_pool) for _ in range(arity)]))
+    body_vars = sorted({v for a in body for v in a.variables()}, key=lambda v: v.name)
+    head_predicate, head_arity = rng.choice(list(predicates))
+    head_terms: List[Variable] = []
+    existential_counter = 0
+    for _ in range(head_arity):
+        if rng.random() < profile.existential_probability:
+            head_terms.append(Variable(f"z{existential_counter}"))
+            existential_counter += 1
+        else:
+            head_terms.append(rng.choice(body_vars))
+    return TGD(body, Atom(head_predicate, head_terms), name=name)
+
+
+def _generate_with_filter(
+    seed: int,
+    profile: GeneratorProfile,
+    accept: Callable[[List[TGD]], bool],
+    single_body_atom: bool = False,
+    max_attempts: int = 2000,
+) -> List[TGD]:
+    """Draw TGD sets until ``accept`` holds; deterministic in ``seed``."""
+    rng = random.Random(seed)
+    for _ in range(max_attempts):
+        predicates = _predicate_pool(rng, profile)
+        candidate = [
+            _random_tgd(rng, predicates, profile, single_body_atom, name=f"s{i + 1}")
+            for i in range(profile.num_tgds)
+        ]
+        if accept(candidate):
+            return candidate
+    raise RuntimeError(
+        f"could not generate an accepted TGD set in {max_attempts} attempts"
+    )
+
+
+def random_linear_set(seed: int, profile: Optional[GeneratorProfile] = None) -> List[TGD]:
+    """A random set of single-head linear TGDs."""
+    profile = profile or GeneratorProfile()
+    return _generate_with_filter(seed, profile, is_linear, single_body_atom=True)
+
+
+def random_guarded_set(seed: int, profile: Optional[GeneratorProfile] = None) -> List[TGD]:
+    """A random set of single-head guarded TGDs."""
+    profile = profile or GeneratorProfile()
+    return _generate_with_filter(seed, profile, is_guarded)
+
+
+def random_sticky_set(seed: int, profile: Optional[GeneratorProfile] = None) -> List[TGD]:
+    """A random sticky set of single-head TGDs."""
+    profile = profile or GeneratorProfile()
+    return _generate_with_filter(seed, profile, is_sticky)
+
+
+def random_weakly_acyclic_set(
+    seed: int, profile: Optional[GeneratorProfile] = None
+) -> List[TGD]:
+    """A random weakly-acyclic set (guaranteed terminating baseline)."""
+    profile = profile or GeneratorProfile()
+    return _generate_with_filter(seed, profile, is_weakly_acyclic)
+
+
+def corpus(
+    family: str, size: int, base_seed: int = 0, profile: Optional[GeneratorProfile] = None
+) -> List[List[TGD]]:
+    """A reproducible corpus of ``size`` TGD sets from a named family.
+
+    Families: ``linear``, ``guarded``, ``sticky``, ``weakly-acyclic``.
+    """
+    makers = {
+        "linear": random_linear_set,
+        "guarded": random_guarded_set,
+        "sticky": random_sticky_set,
+        "weakly-acyclic": random_weakly_acyclic_set,
+    }
+    try:
+        maker = makers[family]
+    except KeyError:
+        raise ValueError(f"unknown family {family!r}; choose from {sorted(makers)}")
+    return [maker(base_seed + i, profile) for i in range(size)]

@@ -1,0 +1,216 @@
+"""Tuple-generating dependencies (Section 2).
+
+A single-head TGD is a constant-free sentence
+``∀x̄∀ȳ (φ(x̄, ȳ) → ∃z̄ R(x̄, z̄))``; we store it as a body (tuple of atoms)
+and a single head atom, with the *frontier* ``fr(σ)`` (variables shared by
+body and head) and the existential variables derived.  Multi-head TGDs are
+supported only to reproduce Example B.1 (the Fairness Theorem
+counterexample); every decision procedure requires single-head inputs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.parsing import parse_rule_parts
+from repro.core.schema import Schema
+from repro.core.terms import Variable
+
+
+class TGD:
+    """A single-head TGD ``φ(x̄, ȳ) → ∃z̄ R(x̄, z̄)``.
+
+    ``name`` is an optional identifier used in derivation traces and
+    deterministic null naming; when omitted one is derived from the rule
+    text.
+    """
+
+    __slots__ = ("body", "head", "name", "_frontier", "_existential", "_hash")
+
+    def __init__(self, body: Iterable[Atom], head: Atom, name: Optional[str] = None):
+        body = tuple(body)
+        if not body:
+            raise ValueError("a TGD needs a non-empty body")
+        for atom in itertools.chain(body, (head,)):
+            if not all(t.is_variable for t in atom.terms):
+                raise ValueError(f"TGDs are constant-free, offending atom: {atom}")
+        body_vars = {v for atom in body for v in atom.variables()}
+        head_vars = head.variables()
+        frontier = frozenset(body_vars & head_vars)
+        existential = frozenset(head_vars - body_vars)
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "name", name or self._default_name(body, head))
+        object.__setattr__(self, "_frontier", frontier)
+        object.__setattr__(self, "_existential", existential)
+        object.__setattr__(self, "_hash", hash((body, head)))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("TGD is immutable")
+
+    @staticmethod
+    def _default_name(body: Tuple[Atom, ...], head: Atom) -> str:
+        text = ",".join(repr(a) for a in body) + "->" + repr(head)
+        return text
+
+    @staticmethod
+    def parse(text: str, name: Optional[str] = None) -> "TGD":
+        """Parse ``"R(x,y), P(y,z) -> T(x,y,w)"`` (head-only vars existential)."""
+        body, head = parse_rule_parts(text)
+        if len(head) != 1:
+            raise ValueError(
+                f"single-head TGD expected, got {len(head)} head atoms; "
+                "use MultiHeadTGD.parse for multi-head rules"
+            )
+        return TGD(body, head[0], name=name)
+
+    @property
+    def frontier(self) -> FrozenSet[Variable]:
+        """The paper's ``fr(σ)``: variables occurring in both body and head."""
+        return self._frontier
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """Head variables that do not occur in the body (the ``z̄``)."""
+        return self._existential
+
+    def body_variables(self) -> Set[Variable]:
+        return {v for atom in self.body for v in atom.variables()}
+
+    def head_variables(self) -> Set[Variable]:
+        return set(self.head.variables())
+
+    def variables(self) -> Set[Variable]:
+        return self.body_variables() | self.head_variables()
+
+    def frontier_head_positions(self) -> FrozenSet[int]:
+        """Positions of ``head(σ)`` holding frontier variables.
+
+        These are the positions whose terms constitute ``fr(result(σ,h))``
+        (Section 3); every other head position holds an existential
+        variable.
+        """
+        return frozenset(
+            i
+            for i in range(1, self.head.arity + 1)
+            if self.head[i] in self._frontier
+        )
+
+    def rename(self, mapping: Dict[Variable, Variable], name: Optional[str] = None) -> "TGD":
+        """Apply a variable renaming to body and head."""
+        return TGD(
+            tuple(atom.apply(mapping) for atom in self.body),
+            self.head.apply(mapping),
+            name=name or self.name,
+        )
+
+    def rename_apart(self, suffix: str) -> "TGD":
+        """Rename every variable with a suffix so TGDs share no variables.
+
+        The stickiness marking of Section 2 assumes w.l.o.g. that TGDs do
+        not share variables; this provides that normal form.
+        """
+        mapping = {v: Variable(f"{v.name}_{suffix}") for v in self.variables()}
+        return self.rename(mapping, name=self.name)
+
+    def schema(self) -> Schema:
+        """The predicates (with arities) occurring in this TGD."""
+        return Schema.from_atoms(list(self.body) + [self.head])
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, TGD)
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body)
+        existential = sorted(self._existential, key=lambda v: v.name)
+        prefix = ""
+        if existential:
+            prefix = "∃" + ",".join(v.name for v in existential) + " "
+        return f"{body} -> {prefix}{self.head!r}"
+
+
+class MultiHeadTGD:
+    """A TGD whose head is a conjunction of atoms.
+
+    Only used to reproduce Example B.1, which shows the Fairness Theorem
+    fails beyond single-head TGDs.
+    """
+
+    __slots__ = ("body", "head", "name", "_frontier", "_existential")
+
+    def __init__(self, body: Iterable[Atom], head: Iterable[Atom], name: Optional[str] = None):
+        body = tuple(body)
+        head = tuple(head)
+        if not body or not head:
+            raise ValueError("a TGD needs non-empty body and head")
+        for atom in itertools.chain(body, head):
+            if not all(t.is_variable for t in atom.terms):
+                raise ValueError(f"TGDs are constant-free, offending atom: {atom}")
+        body_vars = {v for atom in body for v in atom.variables()}
+        head_vars = {v for atom in head for v in atom.variables()}
+        object.__setattr__(self, "body", body)
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "name", name or "mh")
+        object.__setattr__(self, "_frontier", frozenset(body_vars & head_vars))
+        object.__setattr__(self, "_existential", frozenset(head_vars - body_vars))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("MultiHeadTGD is immutable")
+
+    @staticmethod
+    def parse(text: str, name: Optional[str] = None) -> "MultiHeadTGD":
+        body, head = parse_rule_parts(text)
+        return MultiHeadTGD(body, head, name=name)
+
+    @property
+    def frontier(self) -> FrozenSet[Variable]:
+        return self._frontier
+
+    @property
+    def existential_variables(self) -> FrozenSet[Variable]:
+        return self._existential
+
+    def schema(self) -> Schema:
+        return Schema.from_atoms(list(self.body) + list(self.head))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, MultiHeadTGD)
+            and self.body == other.body
+            and self.head == other.head
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.body, self.head))
+
+    def __repr__(self) -> str:
+        body = ", ".join(repr(a) for a in self.body)
+        head = ", ".join(repr(a) for a in self.head)
+        return f"{body} -> {head}"
+
+
+def parse_tgds(texts: Iterable[str]) -> List[TGD]:
+    """Parse several single-head TGDs, naming them ``s1, s2, ...``."""
+    return [TGD.parse(text, name=f"s{i}") for i, text in enumerate(texts, start=1)]
+
+
+def schema_of(tgds: Sequence) -> Schema:
+    """The paper's ``sch(T)``: all predicates occurring in the TGD set."""
+    schema = Schema()
+    for tgd in tgds:
+        schema = schema.merge(tgd.schema())
+    return schema
+
+
+def max_arity(tgds: Sequence) -> int:
+    """The paper's ``ar(T)``."""
+    return schema_of(tgds).max_arity

@@ -1,0 +1,1 @@
+"""Union-find and directed-graph algorithms shared across the library."""

@@ -1,0 +1,225 @@
+"""Small directed-graph toolbox.
+
+Self-contained (no networkx dependency in the core library) implementations
+of the graph algorithms the reproduction needs:
+
+* cycle detection (weak acyclicity, condition (3) of Definitions 5.2/5.10),
+* Tarjan SCCs and lasso search (Büchi emptiness, Section 6.5),
+* reachability / transitive closure (the ``≺+b`` and ``≺+gp`` closures).
+
+Graphs are plain dicts ``node -> set of successors`` over hashable nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Set, Tuple
+
+Graph = Dict[Hashable, Set[Hashable]]
+
+
+def make_graph(edges: Iterable[Tuple[Hashable, Hashable]]) -> Graph:
+    """Build an adjacency dict from an edge list (nodes auto-registered)."""
+    graph: Graph = {}
+    for source, target in edges:
+        graph.setdefault(source, set()).add(target)
+        graph.setdefault(target, set())
+    return graph
+
+
+def successors(graph: Graph, node: Hashable) -> Set[Hashable]:
+    return graph.get(node, set())
+
+
+def has_cycle(graph: Graph) -> bool:
+    """True iff the directed graph contains a cycle (iterative 3-color DFS)."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Hashable, Iterable]] = [(root, iter(graph.get(root, ())))]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    return True
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, iter(graph.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def find_cycle(graph: Graph) -> Optional[List[Hashable]]:
+    """A cycle as a node list ``[v1, ..., vk]`` with ``vk -> v1``, or None."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {node: WHITE for node in graph}
+    parent: Dict[Hashable, Hashable] = {}
+    for root in graph:
+        if color[root] != WHITE:
+            continue
+        stack: List[Tuple[Hashable, Iterable]] = [(root, iter(graph.get(root, ())))]
+        color[root] = GRAY
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for nxt in it:
+                state = color.get(nxt, WHITE)
+                if state == GRAY:
+                    cycle = [node]
+                    current = node
+                    while current != nxt:
+                        current = parent[current]
+                        cycle.append(current)
+                    cycle.reverse()
+                    return cycle
+                if state == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(graph.get(nxt, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None
+
+
+def topological_order(graph: Graph) -> Optional[List[Hashable]]:
+    """A topological order of the nodes, or None when the graph is cyclic."""
+    indegree: Dict[Hashable, int] = {node: 0 for node in graph}
+    for node in graph:
+        for nxt in graph[node]:
+            indegree[nxt] = indegree.get(nxt, 0) + 1
+            indegree.setdefault(node, 0)
+    ready = sorted((n for n, d in indegree.items() if d == 0), key=repr)
+    order: List[Hashable] = []
+    while ready:
+        node = ready.pop()
+        order.append(node)
+        for nxt in sorted(graph.get(node, ()), key=repr):
+            indegree[nxt] -= 1
+            if indegree[nxt] == 0:
+                ready.append(nxt)
+    if len(order) != len(indegree):
+        return None
+    return order
+
+
+def reachable_from(graph: Graph, sources: Iterable[Hashable]) -> Set[Hashable]:
+    """All nodes reachable from ``sources`` (including the sources)."""
+    seen: Set[Hashable] = set()
+    frontier = list(sources)
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(graph.get(node, ()))
+    return seen
+
+
+def ancestors_of(graph: Graph, target: Hashable) -> Set[Hashable]:
+    """All nodes that can reach ``target`` (excluding ``target`` unless cyclic)."""
+    reverse: Graph = {node: set() for node in graph}
+    for node, nxts in graph.items():
+        for nxt in nxts:
+            reverse.setdefault(nxt, set()).add(node)
+            reverse.setdefault(node, set())
+    reached = reachable_from(reverse, [target])
+    reached.discard(target)
+    if target in graph.get(target, set()):
+        reached.add(target)
+    return reached
+
+
+def transitive_closure(graph: Graph) -> Graph:
+    """The full transitive closure (quadratic; fine for the small relations here)."""
+    closure: Graph = {}
+    for node in graph:
+        reached = reachable_from(graph, graph.get(node, ()))
+        closure[node] = reached
+    return closure
+
+
+def strongly_connected_components(graph: Graph) -> List[Set[Hashable]]:
+    """Tarjan's algorithm, iterative.  Components in reverse topological order."""
+    index_counter = [0]
+    index: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[Set[Hashable]] = []
+
+    for root in graph:
+        if root in index:
+            continue
+        work: List[Tuple[Hashable, Iterable]] = [(root, iter(sorted(graph.get(root, ()), key=repr)))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for nxt in it:
+                if nxt not in index:
+                    index[nxt] = lowlink[nxt] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(sorted(graph.get(nxt, ()), key=repr))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if not advanced:
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[Hashable] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(component)
+    return components
+
+
+def shortest_path(
+    graph: Graph, source: Hashable, goal_test: Callable[[Hashable], bool]
+) -> Optional[List[Hashable]]:
+    """BFS path from ``source`` to the first node satisfying ``goal_test``."""
+    if goal_test(source):
+        return [source]
+    parents: Dict[Hashable, Hashable] = {source: source}
+    frontier = [source]
+    while frontier:
+        next_frontier: List[Hashable] = []
+        for node in frontier:
+            for nxt in sorted(graph.get(node, ()), key=repr):
+                if nxt in parents:
+                    continue
+                parents[nxt] = node
+                if goal_test(nxt):
+                    path = [nxt]
+                    current = nxt
+                    while current != source:
+                        current = parents[current]
+                        path.append(current)
+                    path.reverse()
+                    return path
+                next_frontier.append(nxt)
+        frontier = next_frontier
+    return None

@@ -1,0 +1,68 @@
+"""Disjoint-set (union-find) structure.
+
+Used to build equality types of atoms (Appendix A), the ``Eq_T`` relation
+of abstract join trees (Section 5.3), and the provable-equality closure
+``≃*_I`` of Section 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class UnionFind:
+    """Union-find over arbitrary hashable elements with path compression."""
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as a singleton class if unseen."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Canonical representative of ``element``'s class (auto-registers)."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the classes of ``a`` and ``b``; returns the new representative."""
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        return ra
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same class."""
+        return self.find(a) == self.find(b)
+
+    def classes(self) -> List[Set[Hashable]]:
+        """All equivalence classes as a list of sets (deterministic order)."""
+        buckets: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            buckets.setdefault(self.find(element), set()).add(element)
+        return [buckets[r] for r in sorted(buckets, key=repr)]
+
+    def elements(self) -> Set[Hashable]:
+        return set(self._parent)

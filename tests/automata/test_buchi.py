@@ -1,0 +1,104 @@
+"""Unit tests for the Büchi substrate."""
+
+import pytest
+
+from repro.automata.buchi import BuchiAutomaton, Lasso, StateBudgetExceeded
+
+
+def modular_automaton(n, accepting):
+    """States 0..n-1; symbol 'a' increments mod n, 'b' stays; accepting set."""
+    return BuchiAutomaton(
+        initial=0,
+        alphabet=["a", "b"],
+        transition=lambda s, sym: (s + 1) % n if sym == "a" else s,
+        is_accepting=lambda s: s in accepting,
+    )
+
+
+class TestExploration:
+    def test_reachable_states(self):
+        automaton = modular_automaton(4, {0})
+        assert automaton.reachable_states() == {0, 1, 2, 3}
+
+    def test_dead_transitions_pruned(self):
+        automaton = BuchiAutomaton(
+            initial=0,
+            alphabet=["a"],
+            transition=lambda s, sym: 1 if s == 0 else None,
+            is_accepting=lambda s: False,
+        )
+        assert automaton.reachable_states() == {0, 1}
+
+    def test_budget(self):
+        automaton = BuchiAutomaton(
+            initial=0,
+            alphabet=["a"],
+            transition=lambda s, sym: s + 1,
+            is_accepting=lambda s: False,
+            max_states=10,
+        )
+        with pytest.raises(StateBudgetExceeded):
+            automaton.explore()
+
+
+class TestEmptiness:
+    def test_nonempty_with_accepting_cycle(self):
+        automaton = modular_automaton(3, {1})
+        assert not automaton.is_empty()
+
+    def test_empty_without_accepting_state(self):
+        automaton = modular_automaton(3, set())
+        assert automaton.is_empty()
+
+    def test_empty_when_accepting_not_on_cycle(self):
+        # 0 -a-> 1 -a-> 2(dead); accepting {1} but no cycle through 1.
+        def transition(s, sym):
+            return {0: 1, 1: 2}.get(s)
+
+        automaton = BuchiAutomaton(
+            initial=0, alphabet=["a"], transition=transition,
+            is_accepting=lambda s: s == 1,
+        )
+        assert automaton.is_empty()
+
+    def test_self_loop_accepting(self):
+        automaton = BuchiAutomaton(
+            initial=0,
+            alphabet=["a"],
+            transition=lambda s, sym: 0,
+            is_accepting=lambda s: True,
+        )
+        lasso = automaton.find_lasso()
+        assert lasso is not None
+        assert lasso.prefix == []
+        assert lasso.cycle == ["a"]
+
+
+class TestLasso:
+    def test_lasso_replays_through_accepting(self):
+        automaton = modular_automaton(3, {2})
+        lasso = automaton.find_lasso()
+        assert lasso is not None
+        word = lasso.word_prefix(12)
+        states, alive = automaton.run(word)
+        assert alive
+        assert states.count(2) >= 3  # visited the accepting state repeatedly
+
+    def test_word_prefix_periodic(self):
+        lasso = Lasso(prefix=["a"], cycle=["b", "c"])
+        assert lasso.word_prefix(6) == ["a", "b", "c", "b", "c", "b"]
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            Lasso(prefix=[], cycle=[])
+
+    def test_run_dies_on_dead_transition(self):
+        automaton = BuchiAutomaton(
+            initial=0,
+            alphabet=["a"],
+            transition=lambda s, sym: None,
+            is_accepting=lambda s: False,
+        )
+        states, alive = automaton.run(["a"])
+        assert not alive
+        assert states == [0]

@@ -1,0 +1,105 @@
+"""Tests for the skolem (semi-oblivious) chase."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parsing import parse_database
+from repro.core.terms import Constant, Term
+from repro.chase.skolem import (
+    SkolemTerm,
+    skolem_chase,
+    skolem_function_name,
+    skolemize_trigger,
+)
+from repro.tgds.tgd import TGD, parse_tgds
+
+
+class TestSkolemTerm:
+    def test_structure_and_name(self):
+        term = SkolemTerm("f", [Constant("a"), Constant("b")])
+        assert term.function == "f"
+        assert term.name == "f(a,b)"
+        assert term.is_null
+
+    def test_equality_by_structure(self):
+        assert SkolemTerm("f", [Constant("a")]) == SkolemTerm("f", [Constant("a")])
+        assert SkolemTerm("f", [Constant("a")]) != SkolemTerm("g", [Constant("a")])
+
+    def test_depth(self):
+        inner = SkolemTerm("f", [Constant("a")])
+        outer = SkolemTerm("g", [inner])
+        assert inner.depth() == 1
+        assert outer.depth() == 2
+
+    def test_functions_inside(self):
+        nested = SkolemTerm("g", [SkolemTerm("f", [Constant("a")])])
+        assert nested.functions_inside() == {"f", "g"}
+        assert nested.contains_function("f")
+        assert not nested.contains_function("h")
+
+    def test_immutable(self):
+        term = SkolemTerm("f", [Constant("a")])
+        with pytest.raises(AttributeError):
+            term.function = "g"  # type: ignore[misc]
+
+    def test_non_term_args_rejected(self):
+        with pytest.raises(TypeError):
+            SkolemTerm("f", ["a"])  # type: ignore[list-item]
+
+
+class TestSkolemizeTrigger:
+    def test_frontier_determines_term(self):
+        tgd = TGD.parse("R(x,y) -> S(x,z)")
+        from repro.core.terms import Variable
+
+        binding = {Variable("x"): Constant("a")}
+        atom1 = skolemize_trigger(tgd, binding)
+        atom2 = skolemize_trigger(tgd, binding)
+        assert atom1 == atom2
+        assert isinstance(atom1[2], SkolemTerm)
+
+    def test_function_name_per_variable(self):
+        tgd = TGD.parse("R(x,y) -> S(x,z,w)")
+        assert skolem_function_name(tgd, next(iter(tgd.existential_variables))).startswith("f[")
+
+
+class TestSkolemChase:
+    def test_semi_oblivious_collapses_intro_example(self, intro_tgds, intro_database):
+        """Unlike the oblivious chase, the skolem chase terminates on the
+        intro example: triggers agreeing on the frontier coincide."""
+        result = skolem_chase(intro_database, intro_tgds)
+        assert result.terminated
+        assert len(result.instance) == 2  # R(a,b) + R(a, f(a))
+        assert result.cyclic_term is None
+
+    def test_diverging_chain_cut_off_with_cycle(self, diverging_linear):
+        result = skolem_chase(
+            parse_database("R(a,b)"), diverging_linear, max_rounds=10, max_atoms=50
+        )
+        assert result.cyclic_term is not None
+
+    def test_stop_on_cycle_aborts_early(self, diverging_linear):
+        result = skolem_chase(
+            parse_database("R(a,b)"),
+            diverging_linear,
+            max_rounds=50,
+            stop_on_cycle=True,
+        )
+        assert not result.terminated
+        assert result.cyclic_term is not None
+        assert result.rounds <= 3
+
+    def test_weakly_acyclic_fixpoint(self):
+        tgds = parse_tgds(["P(x) -> Q(x,y)", "Q(x,y) -> S(y)"])
+        result = skolem_chase(parse_database("P(a), P(b)"), tgds)
+        assert result.terminated
+        assert result.cyclic_term is None
+        assert len(result.instance) == 6
+
+    def test_skolem_atoms_reused_across_bodies(self):
+        # Both body atoms feed the same frontier -> one skolem witness.
+        tgds = parse_tgds(["R(x,y) -> S(x,z)"])
+        result = skolem_chase(parse_database("R(a,b), R(a,c)"), tgds)
+        assert result.terminated
+        s_atoms = [a for a in result.instance if a.predicate == "S"]
+        assert len(s_atoms) == 1

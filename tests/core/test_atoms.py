@@ -1,0 +1,99 @@
+"""Unit tests for repro.core.atoms."""
+
+import pytest
+
+from repro.core.atoms import Atom, positions_of_atom
+from repro.core.terms import Constant, Null, Variable
+
+
+def atom(*names):
+    return Atom("R", [Constant(n) for n in names])
+
+
+class TestConstruction:
+    def test_basic(self):
+        a = atom("a", "b")
+        assert a.predicate == "R"
+        assert a.arity == 2
+
+    def test_empty_predicate_rejected(self):
+        with pytest.raises(ValueError):
+            Atom("", [Constant("a")])
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TypeError):
+            Atom("R", ["a"])  # type: ignore[list-item]
+
+    def test_immutable(self):
+        a = atom("a")
+        with pytest.raises(AttributeError):
+            a.predicate = "S"  # type: ignore[misc]
+
+
+class TestIndexing:
+    def test_one_based_getitem(self):
+        a = atom("a", "b")
+        assert a[1] == Constant("a")
+        assert a[2] == Constant("b")
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            atom("a")[2]
+        with pytest.raises(IndexError):
+            atom("a")[0]
+
+    def test_positions_of(self):
+        a = Atom("R", [Constant("a"), Constant("b"), Constant("a")])
+        assert a.positions_of(Constant("a")) == frozenset({1, 3})
+        assert a.positions_of(Constant("z")) == frozenset()
+
+    def test_positions_of_atom_helper(self):
+        assert positions_of_atom(atom("a", "b")) == [("R", 1), ("R", 2)]
+
+
+class TestKinds:
+    def test_is_fact(self):
+        assert atom("a").is_fact
+        assert not Atom("R", [Null("n")]).is_fact
+
+    def test_is_ground(self):
+        assert Atom("R", [Null("n")]).is_ground
+        assert not Atom("R", [Variable("x")]).is_ground
+
+    def test_term_partitions(self):
+        a = Atom("R", [Constant("a"), Null("n"), Variable("x")])
+        assert a.constants() == {Constant("a")}
+        assert a.nulls() == {Null("n")}
+        assert a.variables() == {Variable("x")}
+        assert a.term_set() == {Constant("a"), Null("n"), Variable("x")}
+
+
+class TestApply:
+    def test_apply_dict(self):
+        a = Atom("R", [Variable("x"), Variable("y")])
+        image = a.apply({Variable("x"): Constant("a")})
+        assert image == Atom("R", [Constant("a"), Variable("y")])
+
+    def test_apply_preserves_original(self):
+        a = Atom("R", [Variable("x")])
+        a.apply({Variable("x"): Constant("a")})
+        assert a[1] == Variable("x")
+
+
+class TestEqualityAndOrder:
+    def test_structural_equality(self):
+        assert atom("a", "b") == atom("a", "b")
+        assert atom("a", "b") != atom("b", "a")
+        assert atom("a") != Atom("S", [Constant("a")])
+
+    def test_hashable(self):
+        assert len({atom("a"), atom("a"), atom("b")}) == 2
+
+    def test_sort_key_deterministic(self):
+        atoms = [atom("b"), atom("a"), Atom("Q", [Constant("z")])]
+        ordered = sorted(atoms)
+        assert ordered[0].predicate == "Q"
+        assert ordered[1] == atom("a")
+
+    def test_repr(self):
+        assert repr(atom("a", "b")) == "R(a,b)"

@@ -1,0 +1,68 @@
+"""Tests for instance cores."""
+
+from repro.core.cores import core_of, is_core, proper_retraction, redundancy
+from repro.core.homomorphism import are_isomorphic
+from repro.core.parsing import parse_instance
+
+
+class TestCores:
+    def test_fact_instance_is_core(self):
+        instance = parse_instance("R(a,b), S(b,c)")
+        assert is_core(instance)
+        assert core_of(instance) == instance
+
+    def test_redundant_null_folded(self):
+        # R(a,?n) is subsumed by R(a,b).
+        instance = parse_instance("R(a,b), R(a,?n)")
+        core = core_of(instance)
+        assert len(core) == 1
+        assert core == parse_instance("R(a,b)")
+
+    def test_null_chain_folds_onto_loop(self):
+        # A null path alongside a constant loop retracts onto the loop.
+        instance = parse_instance("E(a,a), E(a,?n1), E(?n1,?n2)")
+        core = core_of(instance)
+        assert core == parse_instance("E(a,a)")
+
+    def test_non_redundant_nulls_kept(self):
+        instance = parse_instance("R(a,?n)")
+        assert is_core(instance)
+
+    def test_core_is_idempotent(self):
+        instance = parse_instance("R(a,b), R(a,?n), S(?n)")
+        core = core_of(instance)
+        assert core_of(core) == core
+
+    def test_redundancy_count(self):
+        instance = parse_instance("R(a,b), R(a,?n)")
+        assert redundancy(instance) == 1
+        assert redundancy(parse_instance("R(a,b)")) == 0
+
+    def test_proper_retraction_none_on_core(self):
+        assert proper_retraction(parse_instance("R(a,b)")) is None
+
+    def test_core_unique_up_to_iso(self):
+        left = core_of(parse_instance("R(a,?n1), R(a,?n2)"))
+        right = core_of(parse_instance("R(a,?m)"))
+        assert are_isomorphic(left.atoms(), right.atoms())
+
+
+class TestCoresOfChaseResults:
+    def test_oblivious_chase_has_redundancy_restricted_does_not(self):
+        """On the X11 workload the oblivious chase's extra nulls are folded
+        away by the core — they were redundant; the restricted chase's
+        output is already (close to) the core."""
+        from repro.chase.oblivious import oblivious_chase
+        from repro.chase.restricted import restricted_chase
+        from repro.core.parsing import parse_database
+        from repro.tgds.tgd import parse_tgds
+
+        tgds = parse_tgds(["E(x,y) -> G(y,w)"])
+        db = parse_database("E(a,b), G(b,b)")
+        restricted = restricted_chase(db, tgds)
+        oblivious = oblivious_chase(db, tgds)
+        assert redundancy(restricted.instance) == 0
+        assert redundancy(oblivious.instance) == 1
+        assert are_isomorphic(
+            core_of(oblivious.instance).atoms(), restricted.instance.atoms()
+        )

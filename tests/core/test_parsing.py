@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.parsing."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.parsing import (
+    ParseError,
+    parse_atom,
+    parse_atoms,
+    parse_database,
+    parse_instance,
+    parse_query_parts,
+    parse_rule_parts,
+)
+from repro.core.terms import Constant, Null, Variable
+
+
+class TestAtomParsing:
+    def test_rule_atom_variables(self):
+        assert parse_atom("R(x,y)") == Atom("R", [Variable("x"), Variable("y")])
+
+    def test_data_atom_constants(self):
+        assert parse_atom("R(a,b)", data=True) == Atom(
+            "R", [Constant("a"), Constant("b")]
+        )
+
+    def test_numeric_constants(self):
+        assert parse_atom("R(1,2)", data=True) == Atom(
+            "R", [Constant("1"), Constant("2")]
+        )
+
+    def test_nulls_in_data(self):
+        assert parse_atom("R(?n)", data=True) == Atom("R", [Null("n")])
+
+    def test_nulls_rejected_in_rules(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(?n)")
+
+    def test_whitespace_insensitive(self):
+        assert parse_atom(" R ( x , y ) ") == parse_atom("R(x,y)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_atom("R(x) extra")
+
+    def test_malformed(self):
+        for bad in ["R(", "R)", "(x)", "R(x", "R(x,)"]:
+            with pytest.raises(ParseError):
+                parse_atom(bad)
+
+
+class TestAtomListParsing:
+    def test_comma_separated(self):
+        atoms = parse_atoms("R(x,y), S(y)")
+        assert len(atoms) == 2
+
+    def test_iterable_of_strings(self):
+        atoms = parse_atoms(["R(x,y)", "S(y)"])
+        assert len(atoms) == 2
+
+    def test_databases(self):
+        db = parse_database("R(a,b), S(b)")
+        assert len(db) == 2
+        assert db.is_database()
+
+    def test_instances_allow_nulls(self):
+        inst = parse_instance("R(a,?n)")
+        assert inst.nulls() == {Null("n")}
+
+
+class TestRuleParsing:
+    def test_basic_rule(self):
+        body, head = parse_rule_parts("R(x,y), P(y,z) -> T(x,y,w)")
+        assert len(body) == 2 and len(head) == 1
+
+    def test_unicode_arrow(self):
+        body, head = parse_rule_parts("R(x,y) → S(y)")
+        assert len(body) == 1
+
+    def test_multi_head(self):
+        _, head = parse_rule_parts("R(x,y) -> S(x), S(y)")
+        assert len(head) == 2
+
+    def test_missing_arrow(self):
+        with pytest.raises(ParseError):
+            parse_rule_parts("R(x,y), S(y)")
+
+
+class TestQueryParsing:
+    def test_basic_query(self):
+        name, answer_vars, body = parse_query_parts("Q(x) :- R(x,y), S(y,x)")
+        assert name == "Q"
+        assert answer_vars == [Variable("x")]
+        assert len(body) == 2
+
+    def test_boolean_query_rejected_head_var(self):
+        with pytest.raises(ParseError):
+            parse_query_parts("Q(z) :- R(x,y)")

@@ -1,0 +1,61 @@
+"""Unit tests for repro.core.schema."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.schema import Schema
+from repro.core.terms import Constant
+
+
+class TestSchema:
+    def test_add_and_arity(self):
+        s = Schema({"R": 2})
+        assert s.arity("R") == 2
+        assert "R" in s
+        assert "S" not in s
+
+    def test_unknown_predicate(self):
+        with pytest.raises(KeyError):
+            Schema().arity("R")
+
+    def test_arity_conflict_rejected(self):
+        s = Schema({"R": 2})
+        with pytest.raises(ValueError):
+            s.add("R", 3)
+
+    def test_non_positive_arity_rejected(self):
+        with pytest.raises(ValueError):
+            Schema({"R": 0})
+
+    def test_max_arity(self):
+        assert Schema({"R": 2, "S": 4}).max_arity == 4
+        assert Schema().max_arity == 0
+
+    def test_positions(self):
+        s = Schema({"R": 2, "Q": 1})
+        assert s.positions() == [("Q", 1), ("R", 1), ("R", 2)]
+
+    def test_validate_atom(self):
+        s = Schema({"R": 2})
+        s.validate_atom(Atom("R", [Constant("a"), Constant("b")]))
+        with pytest.raises(ValueError):
+            s.validate_atom(Atom("R", [Constant("a")]))
+
+    def test_from_atoms(self):
+        s = Schema.from_atoms([Atom("R", [Constant("a")])])
+        assert s.arity("R") == 1
+
+    def test_merge(self):
+        merged = Schema({"R": 2}).merge(Schema({"S": 1}))
+        assert set(merged) == {"R", "S"}
+
+    def test_merge_conflict(self):
+        with pytest.raises(ValueError):
+            Schema({"R": 2}).merge(Schema({"R": 3}))
+
+    def test_iteration_sorted(self):
+        assert list(Schema({"Z": 1, "A": 1})) == ["A", "Z"]
+
+    def test_equality_and_hash(self):
+        assert Schema({"R": 2}) == Schema({"R": 2})
+        assert hash(Schema({"R": 2})) == hash(Schema({"R": 2}))

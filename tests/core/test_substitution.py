@@ -1,0 +1,106 @@
+"""Unit tests for repro.core.substitution."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Null, Variable
+
+X, Y, Z = Variable("x"), Variable("y"), Variable("z")
+A, B = Constant("a"), Constant("b")
+
+
+class TestBasics:
+    def test_empty(self):
+        s = Substitution()
+        assert len(s) == 0
+        assert s.get(X) is None
+
+    def test_lookup(self):
+        s = Substitution({X: A})
+        assert s[X] == A
+        assert X in s
+        assert Y not in s
+
+    def test_non_term_rejected(self):
+        with pytest.raises(TypeError):
+            Substitution({X: "a"})  # type: ignore[dict-item]
+
+    def test_immutable(self):
+        s = Substitution({X: A})
+        with pytest.raises(AttributeError):
+            s._map = {}  # type: ignore[misc]
+
+    def test_domain_image(self):
+        s = Substitution({X: A, Y: A})
+        assert s.domain() == {X, Y}
+        assert s.image() == {A}
+
+
+class TestOperations:
+    def test_extend(self):
+        s = Substitution({X: A}).extend(Y, B)
+        assert s[Y] == B
+        assert s[X] == A
+
+    def test_extend_conflict(self):
+        with pytest.raises(ValueError):
+            Substitution({X: A}).extend(X, B)
+
+    def test_extend_same_value_ok(self):
+        s = Substitution({X: A}).extend(X, A)
+        assert len(s) == 1
+
+    def test_restrict(self):
+        s = Substitution({X: A, Y: B}).restrict([X])
+        assert X in s and Y not in s
+
+    def test_compose(self):
+        inner = Substitution({X: Null("n")})
+        outer = Substitution({Null("n"): A, Y: B})
+        composed = inner.compose(outer)
+        assert composed[X] == A
+        assert composed[Y] == B
+
+    def test_apply_to_atom(self):
+        s = Substitution({X: A})
+        assert s.apply_to_atom(Atom("R", [X, Y])) == Atom("R", [A, Y])
+
+    def test_apply_to_term_identity_when_unmapped(self):
+        assert Substitution().apply_to_term(X) == X
+
+    def test_merge_agreeing(self):
+        merged = Substitution({X: A}).merge(Substitution({Y: B}))
+        assert merged[X] == A and merged[Y] == B
+
+    def test_merge_conflicting(self):
+        with pytest.raises(ValueError):
+            Substitution({X: A}).merge(Substitution({X: B}))
+
+    def test_agrees_with(self):
+        assert Substitution({X: A}).agrees_with(Substitution({X: A, Y: B}))
+        assert not Substitution({X: A}).agrees_with(Substitution({X: B}))
+
+
+class TestInjectivity:
+    def test_is_injective(self):
+        assert Substitution({X: A, Y: B}).is_injective()
+        assert not Substitution({X: A, Y: A}).is_injective()
+
+    def test_inverse(self):
+        inv = Substitution({X: A}).inverse()
+        assert inv[A] == X
+
+    def test_inverse_requires_injective(self):
+        with pytest.raises(ValueError):
+            Substitution({X: A, Y: A}).inverse()
+
+
+class TestCanonical:
+    def test_equality_and_hash(self):
+        assert Substitution({X: A}) == Substitution({X: A})
+        assert hash(Substitution({X: A})) == hash(Substitution({X: A}))
+
+    def test_canonical_items_sorted(self):
+        s = Substitution({Y: B, X: A})
+        assert s.canonical_items() == ((X, A), (Y, B))

@@ -1,0 +1,107 @@
+"""Tests for the guarded CT_res_∀∀ decision procedure."""
+
+import pytest
+
+from repro.core.parsing import parse_database
+from repro.chase.restricted import restricted_chase
+from repro.guarded.decision import (
+    PumpWitness,
+    candidate_databases,
+    canonical_body_database,
+    decide_guarded,
+    find_pump,
+)
+from repro.termination.verdict import Status
+from repro.tgds.tgd import parse_tgds
+
+
+class TestCandidates:
+    def test_canonical_body_database(self):
+        tgds = parse_tgds(["R(x,y), T(y) -> P(x,y)"])
+        db = canonical_body_database(tgds[0])
+        assert len(db) == 2
+        preds = sorted(a.predicate for a in db)
+        assert preds == ["R", "T"]
+
+    def test_candidates_deduplicated(self):
+        tgds = parse_tgds(["R(x,x) -> S(x)"])
+        candidates = candidate_databases(tgds)
+        keys = [frozenset(db.atoms()) for db in candidates]
+        assert len(keys) == len(set(keys))
+
+    def test_unified_variant_included(self):
+        tgds = parse_tgds(["R(x,y) -> S(x)"])
+        candidates = candidate_databases(tgds)
+        assert any(len(db.domain()) == 1 for db in candidates)
+
+
+class TestFindPump:
+    def test_pump_on_linear_divergence(self, diverging_linear):
+        db = parse_database("R(a,b)")
+        run = restricted_chase(db, diverging_linear, strategy="lifo", max_steps=30)
+        pump = find_pump(db, diverging_linear, run.derivation)
+        assert pump is not None
+        assert pump.period_length == 1
+        pump.derivation.validate(diverging_linear)
+        assert len(pump.derivation.steps) > 30
+
+    def test_no_pump_on_terminating(self, example_32_tgds, example_32_database):
+        run = restricted_chase(example_32_database, example_32_tgds)
+        assert find_pump(example_32_database, example_32_tgds, run.derivation) is None
+
+
+class TestDecideGuarded:
+    def test_intro_example_terminates(self, intro_tgds):
+        verdict = decide_guarded(intro_tgds)
+        assert verdict.status == Status.ALL_TERMINATING
+        assert verdict.method == "weak-acyclicity"
+
+    def test_linear_divergence_detected(self, diverging_linear):
+        verdict = decide_guarded(diverging_linear)
+        assert verdict.status == Status.NOT_ALL_TERMINATING
+        witness = verdict.certificate["witness"]
+        assert isinstance(witness, PumpWitness)
+        witness.derivation.validate(diverging_linear)
+
+    def test_example_56_not_all_terminating(self, example_56_tgds):
+        verdict = decide_guarded(example_56_tgds)
+        assert verdict.status == Status.NOT_ALL_TERMINATING
+
+    def test_side_condition_loop(self):
+        tgds = parse_tgds(["R(x,y), A(x) -> R(y,z)", "R(x,y) -> A(y)"])
+        verdict = decide_guarded(tgds)
+        assert verdict.status == Status.NOT_ALL_TERMINATING
+
+    def test_full_tgds_certificate(self):
+        tgds = parse_tgds(["R(x,y) -> S(y,x)"])
+        verdict = decide_guarded(tgds)
+        assert verdict.status == Status.ALL_TERMINATING
+        assert verdict.method == "full-tgds"
+
+    def test_unguarded_rejected(self):
+        with pytest.raises(ValueError, match="not guarded"):
+            decide_guarded(parse_tgds(["R(x,y), S(y,z) -> P(x,z)"]))
+
+    def test_extra_candidates_used(self, example_56_tgds):
+        # Supplying the treeified witness database directly also works.
+        verdict = decide_guarded(
+            example_56_tgds,
+            extra_candidates=[parse_database("R(a,b), S(b,c)")],
+        )
+        assert verdict.status == Status.NOT_ALL_TERMINATING
+
+    def test_terminating_guarded_loop(self):
+        tgds = parse_tgds(["P(x) -> R(x,y)", "R(x,y) -> R(y,x)"])
+        verdict = decide_guarded(tgds)
+        assert verdict.status == Status.ALL_TERMINATING
+
+    def test_critical_oblivious_certificate_path(self):
+        # Full rules plus a rule whose oblivious chase on D* terminates but
+        # which is neither WA nor JA... use a set that is WA-free but
+        # oblivious-terminating: R(x,y) -> S(y,x), S(x,y) -> R(y,x) is full;
+        # certificates catch it earlier.  Here we simply check the verdict
+        # is sound on a set where only the critical baseline fires.
+        tgds = parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> R(x,y)"])
+        verdict = decide_guarded(tgds)
+        # This set genuinely diverges (special-edge cycle realized), so:
+        assert verdict.status == Status.NOT_ALL_TERMINATING

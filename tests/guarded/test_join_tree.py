@@ -1,0 +1,79 @@
+"""Unit tests for join trees and GYO acyclicity (Definition 5.4)."""
+
+from repro.core.parsing import parse_atoms, parse_instance
+from repro.guarded.join_tree import (
+    JoinTree,
+    gyo_join_tree,
+    is_acyclic_atoms,
+    is_acyclic_instance,
+)
+
+
+def atoms(text):
+    return parse_atoms(text, data=True)
+
+
+class TestGYO:
+    def test_single_atom(self):
+        tree = gyo_join_tree(atoms("R(a,b)"))
+        assert tree is not None
+        assert tree.is_join_tree()
+
+    def test_path_is_acyclic(self):
+        tree = gyo_join_tree(atoms("R(a,b), S(b,c), T(c,d)"))
+        assert tree is not None
+        assert tree.is_join_tree()
+
+    def test_triangle_is_cyclic(self):
+        assert gyo_join_tree(atoms("R(a,b), S(b,c), T(c,a)")) is None
+        assert not is_acyclic_atoms(atoms("R(a,b), S(b,c), T(c,a)"))
+
+    def test_triangle_with_covering_guard_is_acyclic(self):
+        assert is_acyclic_atoms(atoms("R(a,b), S(b,c), T(c,a), G(a,b,c)"))
+
+    def test_disconnected_components(self):
+        tree = gyo_join_tree(atoms("R(a,b), S(c,d)"))
+        assert tree is not None
+        assert tree.is_join_tree()
+
+    def test_empty(self):
+        tree = gyo_join_tree([])
+        assert tree is not None
+        assert tree.is_join_tree()
+
+    def test_duplicate_atoms_multiset(self):
+        duplicated = atoms("R(a,b)") + atoms("R(a,b)")
+        tree = gyo_join_tree(duplicated)
+        assert tree is not None
+
+    def test_instance_wrapper(self):
+        assert is_acyclic_instance(parse_instance("R(a,b), S(b,c)"))
+        assert not is_acyclic_instance(parse_instance("R(a,b), S(b,c), T(c,a)"))
+
+
+class TestJoinTreeValidation:
+    def test_connectedness_violation_detected(self):
+        # R(a,b) -- S(c,d) -- T(a,e): 'a' appears at both ends but not in
+        # the middle: not a join tree.
+        tree = JoinTree(atoms("R(a,b), S(c,d), T(a,e)"), {(0, 1), (1, 2)})
+        assert tree.is_tree()
+        assert tree.connectedness_violations()
+        assert not tree.is_join_tree()
+
+    def test_valid_path_tree(self):
+        tree = JoinTree(atoms("R(a,b), S(b,c), T(c,d)"), {(0, 1), (1, 2)})
+        assert tree.is_join_tree()
+
+    def test_disconnected_edges_not_a_tree(self):
+        tree = JoinTree(atoms("R(a,b), S(b,c), T(c,d)"), {(0, 1)})
+        assert not tree.is_tree()
+
+    def test_cycle_not_a_tree(self):
+        tree = JoinTree(
+            atoms("R(a,b), S(b,c), T(c,a)"), {(0, 1), (1, 2), (0, 2)}
+        )
+        assert not tree.is_tree()
+
+    def test_neighbors(self):
+        tree = JoinTree(atoms("R(a,b), S(b,c), T(c,d)"), {(0, 1), (1, 2)})
+        assert tree.neighbors(1) == {0, 2}

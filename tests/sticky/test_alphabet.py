@@ -1,0 +1,41 @@
+"""Tests for caterpillar words and Λ_T."""
+
+from repro.sticky.alphabet import CaterpillarSymbol, caterpillar_alphabet
+from repro.tgds.tgd import parse_tgds
+
+
+class TestAlphabet:
+    def test_symbols_per_body_atom(self):
+        tgds = parse_tgds(["R(x,y), P(y,z) -> T(x,y,w)"])
+        symbols = caterpillar_alphabet(tgds)
+        # 2 body atoms × (empty P + one existential w) = 4.
+        assert len(symbols) == 4
+
+    def test_pass_on_positions_are_existential(self):
+        tgds = parse_tgds(["R(x,y) -> T(x,w,w)"])
+        symbols = caterpillar_alphabet(tgds)
+        pass_ons = [s for s in symbols if s.is_pass_on]
+        assert len(pass_ons) == 1
+        assert pass_ons[0].passes_on == frozenset({2, 3})
+
+    def test_no_existentials_no_pass_on(self):
+        tgds = parse_tgds(["R(x,y) -> S(y,x)"])
+        symbols = caterpillar_alphabet(tgds)
+        assert all(not s.is_pass_on for s in symbols)
+
+    def test_two_existentials_two_options(self):
+        tgds = parse_tgds(["R(x) -> T(x,w,v)"])
+        symbols = caterpillar_alphabet(tgds)
+        pass_ons = {s.passes_on for s in symbols if s.is_pass_on}
+        assert pass_ons == {frozenset({2}), frozenset({3})}
+
+    def test_symbol_accessors(self):
+        tgds = parse_tgds(["R(x,y), P(y,z) -> T(x,y,w)"])
+        symbol = CaterpillarSymbol(0, 1, frozenset())
+        assert symbol.tgd(tgds) is tgds[0]
+        assert symbol.gamma(tgds).predicate == "P"
+
+    def test_symbols_hashable_distinct(self):
+        tgds = parse_tgds(["R(x,y) -> R(y,z)"])
+        symbols = caterpillar_alphabet(tgds)
+        assert len(set(symbols)) == len(symbols)

@@ -1,0 +1,117 @@
+"""Tests for the caterpillar Büchi automaton family (Appendix D.2)."""
+
+import pytest
+
+from repro.core.equality import EqualityType
+from repro.sticky.alphabet import CaterpillarSymbol
+from repro.sticky.automaton import CaterpillarAutomatonFamily
+from repro.tgds.tgd import parse_tgds
+
+
+@pytest.fixture
+def linear_family(diverging_linear):
+    return CaterpillarAutomatonFamily(diverging_linear)
+
+
+class TestStartPairs:
+    def test_start_pairs_cover_all_classes(self, linear_family):
+        pairs = list(linear_family.start_pairs())
+        # R/2 has 2 equality types; type {1}{2} contributes 2 classes,
+        # type {1,2} contributes 1 class: 3 pairs.
+        assert len(pairs) == 3
+
+    def test_non_sticky_rejected(self, sticky_pair):
+        _, non_sticky = sticky_pair
+        with pytest.raises(ValueError, match="sticky"):
+            CaterpillarAutomatonFamily(non_sticky)
+
+
+class TestTransitions:
+    def test_predicate_mismatch_dies(self):
+        tgds = parse_tgds(["R(x,y) -> R(y,z)", "S(x) -> R(x,z)"])
+        family = CaterpillarAutomatonFamily(tgds)
+        etype = EqualityType("R", [frozenset({1}), frozenset({2})])
+        state = family.initial_state(etype, frozenset({2}))
+        # Symbol for the S-bodied TGD cannot fire from an R-atom.
+        symbol = CaterpillarSymbol(1, 0, frozenset())
+        assert family.transition(state, symbol) is None
+
+    def test_repeated_gamma_variable_needs_equal_positions(self):
+        tgds = parse_tgds(["R(x,x) -> R(x,z)"])
+        family = CaterpillarAutomatonFamily(tgds)
+        # γ = R(x,x) cannot match an atom whose positions carry distinct
+        # terms (the A_pc homomorphism condition).
+        distinct = EqualityType("R", [frozenset({1}), frozenset({2})])
+        symbol = CaterpillarSymbol(0, 0, frozenset({2}))
+        dead = family.transition(family.initial_state(distinct, frozenset({1})), symbol)
+        assert dead is None
+        # The merged start matches γ but dies too: nothing is marked in this
+        # set, so the would-be relay position is immortal — and indeed the
+        # set is in CT_res_∀∀ (R(u,u) always witnesses its own head).
+        merged = EqualityType("R", [frozenset({1, 2})])
+        also_dead = family.transition(
+            family.initial_state(merged, frozenset({1, 2})), symbol
+        )
+        assert also_dead is None
+        assert family.is_empty()
+
+    def test_relay_loss_rejected(self, diverging_linear, linear_family):
+        # Relay at position 1 of R: R(x,y) -> R(y,z) drops x, losing it.
+        etype = EqualityType("R", [frozenset({1}), frozenset({2})])
+        state = linear_family.initial_state(etype, frozenset({1}))
+        symbol = CaterpillarSymbol(0, 0, frozenset())
+        assert linear_family.transition(state, symbol) is None
+
+    def test_relay_propagation(self, linear_family):
+        # Relay at position 2 (y) survives into position 1 of the new atom.
+        etype = EqualityType("R", [frozenset({1}), frozenset({2})])
+        state = linear_family.initial_state(etype, frozenset({2}))
+        symbol = CaterpillarSymbol(0, 0, frozenset())
+        nxt = linear_family.transition(state, symbol)
+        assert nxt is not None
+        assert nxt.pi1 == frozenset({1})
+        assert not nxt.accepting
+
+    def test_pass_on_accepting(self, linear_family):
+        etype = EqualityType("R", [frozenset({1}), frozenset({2})])
+        state = linear_family.initial_state(etype, frozenset({2}))
+        symbol = CaterpillarSymbol(0, 0, frozenset({2}))
+        nxt = linear_family.transition(state, symbol)
+        assert nxt is not None
+        assert nxt.accepting
+        assert nxt.pi1 == frozenset({2})
+        assert nxt.pi2 == frozenset({1, 2})
+
+    def test_self_stop_rejected(self):
+        """R(x,y) -> ∃z R(x,z): the fresh atom is stopped by its own
+        predecessor pattern (same frontier), so no caterpillar step exists
+        — exactly why the intro example is in CT_res_∀∀."""
+        tgds = parse_tgds(["R(x,y) -> R(x,z)"])
+        family = CaterpillarAutomatonFamily(tgds)
+        for etype, pi0 in family.start_pairs():
+            state = family.initial_state(etype, pi0)
+            for symbol in family.alphabet:
+                nxt = family.transition(state, symbol)
+                # Either dead immediately, or the Θ-check kills successors;
+                # the automaton must be empty overall.
+            assert family.component(etype, pi0).is_empty()
+
+
+class TestEmptiness:
+    def test_diverging_linear_nonempty(self, linear_family):
+        counterexample = linear_family.find_counterexample()
+        assert counterexample is not None
+        etype, pi0, lasso = counterexample
+        assert lasso.cycle
+
+    def test_terminating_sets_empty(self):
+        for rules in (
+            ["R(x,y) -> R(x,z)"],
+            ["P(x) -> Q(x,y)", "Q(x,y) -> S(y)"],
+            ["P(x) -> R(x,y)", "R(x,y) -> R(y,x)"],
+        ):
+            family = CaterpillarAutomatonFamily(parse_tgds(rules))
+            assert family.is_empty(), rules
+
+    def test_total_reachable_states_positive(self, linear_family):
+        assert linear_family.total_reachable_states() >= 3

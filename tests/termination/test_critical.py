@@ -1,0 +1,60 @@
+"""Tests for the critical database D* (exhibit X12)."""
+
+from repro.core.parsing import parse_database
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase
+from repro.termination.critical import (
+    critical_database,
+    critical_oblivious_verdict,
+    oblivious_terminates_on_critical,
+)
+from repro.termination.verdict import Status
+from repro.tgds.tgd import parse_tgds
+
+
+class TestCriticalDatabase:
+    def test_one_atom_per_predicate(self):
+        tgds = parse_tgds(["R(x,y) -> S(x)", "S(x) -> T(x,y,z)"])
+        dstar = critical_database(tgds)
+        assert len(dstar) == 3
+        assert all(len(set(a.terms)) == 1 for a in dstar)
+
+    def test_certificate_for_oblivious_terminating(self):
+        tgds = parse_tgds(["R(x,y) -> S(y,x)", "S(x,y) -> R(y,x)"])
+        verdict = critical_oblivious_verdict(tgds)
+        assert verdict is not None
+        assert verdict.status == Status.ALL_TERMINATING
+
+    def test_no_certificate_when_oblivious_diverges(self, intro_tgds):
+        assert critical_oblivious_verdict(intro_tgds) is None
+
+    def test_oblivious_terminates_helper(self):
+        tgds = parse_tgds(["P(x) -> Q(x)"])
+        assert oblivious_terminates_on_critical(tgds)
+
+
+class TestDStarNotCriticalForRestricted:
+    """Section 1.2: D* works for the oblivious chase but NOT for the
+    restricted chase — the intro example is the counterexample."""
+
+    def test_oblivious_diverges_on_dstar(self, intro_tgds):
+        dstar = critical_database(intro_tgds)
+        result = oblivious_chase(dstar, intro_tgds, max_atoms=40, max_rounds=60)
+        assert not result.terminated
+
+    def test_restricted_terminates_on_dstar_and_everywhere(self, intro_tgds):
+        dstar = critical_database(intro_tgds)
+        assert restricted_chase(dstar, intro_tgds).terminated
+        for db_text in ("R(a,b)", "R(a,a)", "R(a,b), R(b,c)"):
+            assert restricted_chase(parse_database(db_text), intro_tgds).terminated
+
+    def test_conclusion_dstar_unsound_for_restricted(self, intro_tgds):
+        """Deciding restricted termination by chasing D* would wrongly
+        classify the intro example as non-terminating."""
+        dstar_diverges = not oblivious_chase(
+            critical_database(intro_tgds), intro_tgds, max_atoms=40
+        ).terminated
+        from repro.sticky.decision import decide_sticky
+
+        true_verdict = decide_sticky(intro_tgds)
+        assert dstar_diverges and true_verdict.status == Status.ALL_TERMINATING

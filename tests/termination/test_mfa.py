@@ -1,0 +1,51 @@
+"""Tests for the MFA certificate."""
+
+from repro.termination.mfa import mfa_check, mfa_verdict
+from repro.termination.verdict import Status
+from repro.tgds.tgd import parse_tgds
+
+
+class TestMFACheck:
+    def test_intro_example_is_mfa(self, intro_tgds):
+        """The oblivious chase diverges on D*, yet semi-oblivious semantics
+        collapses the frontier — MFA certifies the intro example."""
+        assert mfa_check(intro_tgds) is True
+
+    def test_shift_chain_not_mfa(self, diverging_linear):
+        assert mfa_check(diverging_linear) is False
+
+    def test_weakly_acyclic_is_mfa(self):
+        assert mfa_check(parse_tgds(["P(x) -> Q(x,y)", "Q(x,y) -> S(y)"])) is True
+
+    def test_non_wa_but_mfa(self):
+        # Fails WA (special-edge cycle candidates) but the skolem chase of
+        # D* is finite and acyclic.
+        tgds = parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> T(y,x)", "T(x,y) -> U(x)"])
+        assert mfa_check(tgds) is True
+
+    def test_mutual_recursion_not_mfa(self):
+        tgds = parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> R(y,z)"])
+        assert mfa_check(tgds) is False
+
+
+class TestMFAVerdict:
+    def test_verdict_shape(self, intro_tgds):
+        verdict = mfa_verdict(intro_tgds)
+        assert verdict is not None
+        assert verdict.status == Status.ALL_TERMINATING
+        assert verdict.method == "mfa"
+        assert "critical_database" in verdict.certificate
+
+    def test_no_verdict_when_not_mfa(self, diverging_linear):
+        assert mfa_verdict(diverging_linear) is None
+
+    def test_soundness_against_sticky_ground_truth(self):
+        """Whenever MFA certifies a sticky set, the complete Büchi decision
+        must agree — MFA is sound."""
+        from repro.sticky.decision import decide_sticky
+        from repro.tgds.generators import GeneratorProfile, corpus
+
+        profile = GeneratorProfile(num_predicates=2, max_arity=2, num_tgds=2)
+        for tgds in corpus("sticky", 8, base_seed=33, profile=profile):
+            if mfa_check(tgds, max_atoms=3000, max_rounds=40) is True:
+                assert decide_sticky(tgds).status == Status.ALL_TERMINATING

@@ -1,0 +1,27 @@
+"""Unit tests for verdicts."""
+
+import pytest
+
+from repro.termination.verdict import Status, Verdict
+
+
+class TestVerdict:
+    def test_status_flags(self):
+        assert Verdict(Status.ALL_TERMINATING, "m").is_terminating
+        assert Verdict(Status.NOT_ALL_TERMINATING, "m").is_nonterminating
+        assert Verdict(Status.UNKNOWN, "m").is_unknown
+
+    def test_flags_exclusive(self):
+        verdict = Verdict(Status.ALL_TERMINATING, "m")
+        assert not verdict.is_nonterminating
+        assert not verdict.is_unknown
+
+    def test_invalid_status_rejected(self):
+        with pytest.raises(ValueError):
+            Verdict("maybe", "m")
+
+    def test_certificate_defaults_empty(self):
+        assert Verdict(Status.UNKNOWN, "m").certificate == {}
+
+    def test_repr(self):
+        assert "weak-acyclicity" in repr(Verdict(Status.ALL_TERMINATING, "weak-acyclicity"))

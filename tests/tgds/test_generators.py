@@ -1,0 +1,61 @@
+"""Unit tests for repro.tgds.generators."""
+
+import pytest
+
+from repro.tgds.generators import (
+    GeneratorProfile,
+    corpus,
+    random_guarded_set,
+    random_linear_set,
+    random_sticky_set,
+    random_weakly_acyclic_set,
+)
+from repro.tgds.guardedness import is_guarded, is_linear
+from repro.tgds.stickiness import is_sticky
+from repro.tgds.acyclicity import is_weakly_acyclic
+
+
+class TestGenerators:
+    def test_deterministic(self):
+        assert random_guarded_set(7) == random_guarded_set(7)
+
+    def test_different_seeds_differ_somewhere(self):
+        sets = {tuple(random_guarded_set(seed)) for seed in range(8)}
+        assert len(sets) > 1
+
+    def test_linear_family(self):
+        for seed in range(5):
+            assert is_linear(random_linear_set(seed))
+
+    def test_guarded_family(self):
+        for seed in range(5):
+            assert is_guarded(random_guarded_set(seed))
+
+    def test_sticky_family(self):
+        for seed in range(5):
+            assert is_sticky(random_sticky_set(seed))
+
+    def test_weakly_acyclic_family(self):
+        for seed in range(5):
+            assert is_weakly_acyclic(random_weakly_acyclic_set(seed))
+
+    def test_corpus(self):
+        sets = corpus("sticky", 4, base_seed=3)
+        assert len(sets) == 4
+        assert all(is_sticky(s) for s in sets)
+
+    def test_corpus_unknown_family(self):
+        with pytest.raises(ValueError):
+            corpus("nope", 2)
+
+    def test_profile_validation(self):
+        with pytest.raises(ValueError):
+            GeneratorProfile(num_predicates=0)
+
+    def test_profile_respected(self):
+        profile = GeneratorProfile(num_predicates=2, max_arity=2, num_tgds=4)
+        tgds = random_guarded_set(11, profile)
+        assert len(tgds) == 4
+        assert all(
+            atom.arity <= 2 for t in tgds for atom in list(t.body) + [t.head]
+        )

@@ -1,0 +1,90 @@
+"""Unit tests for repro.tgds.stickiness — pinned to the Section 2 figures."""
+
+import pytest
+
+from repro.core.terms import Variable
+from repro.tgds.stickiness import StickinessAnalysis, check_sticky_set, is_sticky
+from repro.tgds.tgd import parse_tgds
+
+
+class TestPaperExamples:
+    def test_sticky_example(self, sticky_pair):
+        sticky, _ = sticky_pair
+        assert is_sticky(sticky)
+
+    def test_non_sticky_example(self, sticky_pair):
+        _, non_sticky = sticky_pair
+        assert not is_sticky(non_sticky)
+
+    def test_marking_of_sticky_example(self, sticky_pair):
+        sticky, _ = sticky_pair
+        analysis = StickinessAnalysis(sticky)
+        # σ1 = T(x,y,z) -> ∃w S(y,w): x and z die, y survives.
+        assert analysis.marked_variables(0) == {Variable("x"), Variable("z")}
+        # σ2 = R(x,y), P(y,z) -> ∃w T(x,y,w): x marked (via σ1's x),
+        # w marked (via σ1's z), z marked (not in head); y unmarked.
+        assert analysis.marked_variables(1) == {
+            Variable("x"),
+            Variable("z"),
+            Variable("w"),
+        }
+
+    def test_marking_of_non_sticky_example(self, sticky_pair):
+        _, non_sticky = sticky_pair
+        analysis = StickinessAnalysis(non_sticky)
+        # Here σ1 = T(x,y,z) -> ∃w S(x,w), so y (position 2 of T) is marked
+        # in σ2 and occurs twice in its body: the violation.
+        violations = analysis.sticky_violations()
+        assert (1, Variable("y")) in violations
+
+    def test_violation_message(self, sticky_pair):
+        _, non_sticky = sticky_pair
+        with pytest.raises(ValueError, match="not sticky"):
+            check_sticky_set(non_sticky)
+
+
+class TestMarkingMechanics:
+    def test_variable_not_in_head_marked(self):
+        analysis = StickinessAnalysis(parse_tgds(["R(x,y) -> S(x)"]))
+        assert analysis.is_marked(0, Variable("y"))
+        assert not analysis.is_marked(0, Variable("x"))
+
+    def test_propagation_through_head(self):
+        # y is marked in s2 because s1 drops position 2 of R.
+        tgds = parse_tgds(["R(x,y) -> S(x)", "S(x) -> R(x,y)"])
+        analysis = StickinessAnalysis(tgds)
+        assert analysis.is_marked(1, Variable("y"))
+
+    def test_linear_sets_always_sticky(self):
+        assert is_sticky(parse_tgds(["R(x,y) -> R(y,z)", "R(x,y) -> S(x)"]))
+
+    def test_marking_table(self):
+        analysis = StickinessAnalysis(parse_tgds(["R(x,y) -> S(x)"]))
+        assert analysis.marking_table() == {0: {"y"}}
+
+
+class TestImmortalPositions:
+    def test_unmarked_head_positions_immortal(self):
+        # In R(x,y) -> R(x,z): x is never dropped downstream, so position 1
+        # is immortal; z's positions depend on what consumes R.
+        analysis = StickinessAnalysis(parse_tgds(["R(x,y) -> R(x,z)"]))
+        assert analysis.is_immortal_position(0, 1) == (
+            not analysis.is_marked(0, Variable("x"))
+        )
+
+    def test_immortal_positions_set(self):
+        tgds = parse_tgds(["R(x,y) -> S(x)", "S(x) -> R(x,y)"])
+        analysis = StickinessAnalysis(tgds)
+        # S(x) -> ∃y R(x,y): position 2 of the head holds y, which is marked
+        # (σ1 drops R's position 2) — mortal; position 1 holds x, which is
+        # propagated forever via S(x) — but σ1 drops y... x flows S->R->S.
+        immortal = analysis.immortal_positions(1)
+        assert 2 not in immortal
+
+    def test_diverging_linear_relay_positions_mortal(self, diverging_linear):
+        analysis = StickinessAnalysis(diverging_linear)
+        # R(x,y) -> R(y,z): x is dropped (marked), so position 1 of the head
+        # (holding y) is mortal, and so is position 2 (z), since z lands in
+        # position 1 next round.
+        assert not analysis.is_immortal_position(0, 1)
+        assert not analysis.is_immortal_position(0, 2)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.util.graphs."""
+
+from repro.util.graphs import (
+    ancestors_of,
+    find_cycle,
+    has_cycle,
+    make_graph,
+    reachable_from,
+    shortest_path,
+    strongly_connected_components,
+    topological_order,
+    transitive_closure,
+)
+
+
+class TestCycles:
+    def test_acyclic(self):
+        graph = make_graph([(1, 2), (2, 3), (1, 3)])
+        assert not has_cycle(graph)
+        assert find_cycle(graph) is None
+
+    def test_simple_cycle(self):
+        graph = make_graph([(1, 2), (2, 3), (3, 1)])
+        assert has_cycle(graph)
+        cycle = find_cycle(graph)
+        assert sorted(cycle) == [1, 2, 3]
+
+    def test_self_loop(self):
+        graph = make_graph([(1, 1)])
+        assert has_cycle(graph)
+        assert find_cycle(graph) == [1]
+
+    def test_cycle_off_the_dag(self):
+        graph = make_graph([(0, 1), (1, 2), (2, 3), (3, 2)])
+        cycle = find_cycle(graph)
+        assert sorted(cycle) == [2, 3]
+
+
+class TestTopologicalOrder:
+    def test_order_respects_edges(self):
+        graph = make_graph([(1, 2), (1, 3), (3, 2)])
+        order = topological_order(graph)
+        assert order.index(1) < order.index(3) < order.index(2)
+
+    def test_cyclic_returns_none(self):
+        assert topological_order(make_graph([(1, 2), (2, 1)])) is None
+
+    def test_empty(self):
+        assert topological_order({}) == []
+
+
+class TestReachability:
+    def test_reachable_from(self):
+        graph = make_graph([(1, 2), (2, 3), (4, 5)])
+        assert reachable_from(graph, [1]) == {1, 2, 3}
+
+    def test_ancestors_of(self):
+        graph = make_graph([(1, 2), (2, 3), (4, 3)])
+        assert ancestors_of(graph, 3) == {1, 2, 4}
+
+    def test_ancestors_self_loop(self):
+        graph = make_graph([(1, 1)])
+        assert 1 in ancestors_of(graph, 1)
+
+    def test_transitive_closure(self):
+        closure = transitive_closure(make_graph([(1, 2), (2, 3)]))
+        assert closure[1] == {2, 3}
+        assert closure[3] == set()
+
+
+class TestSCC:
+    def test_components(self):
+        graph = make_graph([(1, 2), (2, 1), (2, 3)])
+        components = strongly_connected_components(graph)
+        assert {frozenset(c) for c in components} == {
+            frozenset({1, 2}),
+            frozenset({3}),
+        }
+
+    def test_reverse_topological_order(self):
+        graph = make_graph([(1, 2), (2, 3)])
+        components = strongly_connected_components(graph)
+        # Tarjan emits sinks first.
+        assert components[0] == {3}
+
+    def test_all_singletons_in_dag(self):
+        graph = make_graph([(1, 2), (1, 3)])
+        assert all(len(c) == 1 for c in strongly_connected_components(graph))
+
+
+class TestShortestPath:
+    def test_path_found(self):
+        graph = make_graph([(1, 2), (2, 3), (1, 4)])
+        assert shortest_path(graph, 1, lambda n: n == 3) == [1, 2, 3]
+
+    def test_source_is_goal(self):
+        assert shortest_path({1: set()}, 1, lambda n: n == 1) == [1]
+
+    def test_unreachable(self):
+        graph = make_graph([(1, 2)])
+        assert shortest_path(graph, 2, lambda n: n == 1) is None

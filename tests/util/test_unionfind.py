@@ -1,0 +1,48 @@
+"""Unit tests for repro.util.unionfind."""
+
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert not uf.same(1, 2)
+        assert uf.same(1, 1)
+
+    def test_union(self):
+        uf = UnionFind()
+        uf.union(1, 2)
+        uf.union(2, 3)
+        assert uf.same(1, 3)
+        assert not uf.same(1, 4)
+
+    def test_find_auto_registers(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+
+    def test_classes(self):
+        uf = UnionFind([1, 2, 3, 4])
+        uf.union(1, 2)
+        classes = uf.classes()
+        assert {frozenset(c) for c in classes} == {
+            frozenset({1, 2}),
+            frozenset({3}),
+            frozenset({4}),
+        }
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        root1 = uf.union(1, 2)
+        root2 = uf.union(1, 2)
+        assert root1 == root2
+
+    def test_len_and_elements(self):
+        uf = UnionFind([1, 2])
+        assert len(uf) == 2
+        assert uf.elements() == {1, 2}
+
+    def test_mixed_types(self):
+        uf = UnionFind()
+        uf.union(("a", 1), ("b", 2))
+        assert uf.same(("a", 1), ("b", 2))
