@@ -1,0 +1,17 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-quick bench-exhibits
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+bench:
+	$(PYTHON) benchmarks/harness.py
+
+bench-quick:
+	$(PYTHON) benchmarks/harness.py --quick
+
+# The per-exhibit pytest-benchmark suites (X1-X12 + ablations).
+bench-exhibits:
+	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest bench_*.py -q

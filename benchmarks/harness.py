@@ -1,0 +1,209 @@
+"""Machine-readable chase benchmark harness.
+
+Runs the chase-cost kernels (the ablation-engine chain workload and the
+X11 "smaller instances at a cost per step" workload) with both the indexed
+incremental engine (``restricted_chase`` on the shared ``ChaseEngine``)
+and the naive baseline (``restricted_chase_naive``: full active-trigger
+re-enumeration and head scans per step), checks that the two produce
+atom-for-atom identical results, and writes ``BENCH_chase.json`` so the
+perf trajectory is machine-readable from PR 1 onward.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py            # full mode
+    PYTHONPATH=src python benchmarks/harness.py --quick    # smaller sizes
+    PYTHONPATH=src python benchmarks/harness.py --out PATH
+
+or ``make bench`` / ``make bench-quick`` from the repository root.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+if __package__ in (None, ""):  # allow `python benchmarks/harness.py`
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase, restricted_chase_naive
+from repro.tgds.tgd import parse_tgds
+
+#: The weakly-acyclic chain rules shared by both kernels.
+TGDS = parse_tgds(
+    [
+        "E(x,y) -> F(x,y)",
+        "F(x,y) -> G(y,w)",
+        "G(x,y) -> H(x)",
+    ]
+)
+
+SPEEDUP_THRESHOLD = 5.0
+
+
+def chain_database(n: int) -> Database:
+    """The ablation-engine workload: a bare E-chain."""
+    return Database(
+        Atom("E", [Constant(f"c{i}"), Constant(f"c{i + 1}")]) for i in range(n)
+    )
+
+
+def x11_database(n: int) -> Database:
+    """The X11 workload: an E-chain plus reflexive G-facts.
+
+    The G-facts already witness ``F(x,y) → ∃w G(y,w)``, so the restricted
+    chase skips those triggers while the oblivious chase materializes one
+    redundant null per edge — §1's size gap, paid for by activity checks.
+    """
+    atoms = [Atom("E", [Constant(f"c{i}"), Constant(f"c{i + 1}")]) for i in range(n)]
+    atoms += [Atom("G", [Constant(f"c{i}"), Constant(f"c{i}")]) for i in range(n + 1)]
+    return Database(atoms)
+
+
+def _time(fn, *args, repeats: int, **kwargs):
+    """Best-of-``repeats`` wall time and the last result."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def run_kernel(workload: str, make_db, sizes, repeats: int, max_steps: int = 1_000_000):
+    """Time indexed vs naive restricted chase; verify identical instances."""
+    rows = []
+    speedups = []
+    for n in sizes:
+        db = make_db(n)
+        indexed_s, indexed = _time(
+            restricted_chase, db, TGDS, max_steps=max_steps, repeats=repeats
+        )
+        naive_s, naive = _time(
+            restricted_chase_naive, db, TGDS, max_steps=max_steps, repeats=repeats
+        )
+        if not (indexed.terminated and naive.terminated):
+            raise RuntimeError(f"{workload} n={n}: a run was cut off")
+        equivalent = indexed.instance == naive.instance
+        for engine, seconds, result in (
+            ("indexed", indexed_s, indexed),
+            ("naive", naive_s, naive),
+        ):
+            rows.append(
+                {
+                    "workload": workload,
+                    "size": n,
+                    "engine": engine,
+                    "seconds": round(seconds, 6),
+                    "steps": result.steps,
+                    "atoms": len(result.instance),
+                    "atoms_per_sec": round(len(result.instance) / seconds, 1),
+                }
+            )
+        speedups.append(
+            {
+                "workload": workload,
+                "size": n,
+                "indexed_seconds": round(indexed_s, 6),
+                "naive_seconds": round(naive_s, 6),
+                "speedup": round(naive_s / indexed_s, 2),
+                "identical_instances": equivalent,
+            }
+        )
+    return rows, speedups
+
+
+def run_oblivious(sizes, repeats: int):
+    """The oblivious side of the X11 exhibit (indexed engine only)."""
+    rows = []
+    for n in sizes:
+        db = x11_database(n)
+        seconds, result = _time(oblivious_chase, db, TGDS, repeats=repeats)
+        if not result.terminated:
+            raise RuntimeError(f"x11 oblivious n={n} was cut off")
+        rows.append(
+            {
+                "workload": "x11_chase_cost",
+                "size": n,
+                "engine": "oblivious",
+                "seconds": round(seconds, 6),
+                "steps": result.applications,
+                "atoms": len(result.instance),
+                "atoms_per_sec": round(len(result.instance) / seconds, 1),
+            }
+        )
+    return rows
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller sizes, fewer repeats")
+    parser.add_argument(
+        "--out",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_chase.json"),
+        help="where to write the JSON report",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        sizes, repeats = (8, 16, 32), 2
+    else:
+        sizes, repeats = (8, 16, 32, 64), 3
+
+    results = []
+    speedups = []
+    for workload, make_db in (
+        ("ablation_engine", chain_database),
+        ("x11_chase_cost", x11_database),
+    ):
+        rows, ups = run_kernel(workload, make_db, sizes, repeats)
+        results.extend(rows)
+        speedups.extend(ups)
+    results.extend(run_oblivious(sizes, repeats))
+
+    largest = max(sizes)
+    at_largest = [s for s in speedups if s["size"] == largest]
+    verdict = {
+        "threshold": SPEEDUP_THRESHOLD,
+        "largest_size": largest,
+        "min_speedup_at_largest": min(s["speedup"] for s in at_largest),
+        "all_instances_identical": all(s["identical_instances"] for s in speedups),
+        "pass": all(s["identical_instances"] for s in speedups)
+        and all(s["speedup"] >= SPEEDUP_THRESHOLD for s in at_largest),
+    }
+
+    report = {
+        "generated_by": "benchmarks/harness.py",
+        "mode": "quick" if args.quick else "full",
+        "tgds": [repr(t) for t in TGDS],
+        "results": results,
+        "speedups": speedups,
+        "acceptance": verdict,
+    }
+    Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
+
+    print(f"wrote {args.out}")
+    header = f"{'workload':<16} {'n':>4} {'indexed s':>10} {'naive s':>10} {'speedup':>8}  identical"
+    print(header)
+    for s in speedups:
+        print(
+            f"{s['workload']:<16} {s['size']:>4} {s['indexed_seconds']:>10.4f} "
+            f"{s['naive_seconds']:>10.4f} {s['speedup']:>7.1f}x  {s['identical_instances']}"
+        )
+    print(
+        f"acceptance: min speedup at n={largest} is "
+        f"{verdict['min_speedup_at_largest']}x (threshold {SPEEDUP_THRESHOLD}x) -> "
+        f"{'PASS' if verdict['pass'] else 'FAIL'}"
+    )
+    return 0 if verdict["pass"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,12 +10,12 @@ every derivation any component produces.
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.homomorphism import is_homomorphism
 from repro.core.instance import Instance
-from repro.chase.trigger import Trigger, active_triggers_on, is_active
+from repro.chase.trigger import Trigger, active_triggers_on, is_active, triggers_on
 from repro.tgds.tgd import TGD
 
 
@@ -95,19 +95,27 @@ class Derivation:
         instance* — the fairness suspects of this prefix (each is a pair of
         the first index where it fired as active and the trigger).  A fair
         infinite derivation must eventually deactivate each of them; a
-        finite terminal derivation has none."""
+        finite terminal derivation has none.
+
+        Computed in one pass over the final instance instead of a trigger
+        re-enumeration per prefix instance: body matches are monotone
+        (atoms are only added) and activity is anti-monotone (head
+        witnesses persist), so a trigger active on the final instance was
+        active from the moment its body image was complete — the first
+        index is the birth step of its youngest body atom."""
         final = self.final_instance()
+        births: dict = {}
+        for atom in self.initial:
+            births[atom] = 0
+        for step_index, step in enumerate(self.steps):
+            births.setdefault(step.result(), step_index + 1)
         suspects: List[Tuple[int, Trigger]] = []
-        seen: Set[tuple] = set()
-        for index, instance in enumerate(self.instances()):
-            if index > len(self.steps):
-                break
-            for trigger in active_triggers_on(tgds, instance):
-                if trigger.key in seen:
-                    continue
-                seen.add(trigger.key)
-                if is_active(trigger, final):
-                    suspects.append((index, trigger))
+        for trigger in triggers_on(tgds, final):
+            if not is_active(trigger, final):
+                continue
+            first_index = max(births[atom] for atom in trigger.body_image())
+            suspects.append((first_index, trigger))
+        suspects.sort(key=lambda pair: (pair[0], pair[1].canonical_key))
         return suspects
 
     def is_fair_prefix(self, tgds: Sequence[TGD]) -> bool:

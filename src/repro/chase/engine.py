@@ -1,0 +1,225 @@
+"""The shared incremental chase kernel.
+
+Every chase variant in this repository (restricted, oblivious, the DFS over
+derivations, the weakly restricted rounds) bottoms out in the same three
+operations: discover triggers, decide activity, apply a trigger.  This
+module owns the fast implementations of all three:
+
+* :class:`HeadWitnessIndex` — the per-TGD *head-witness cache* that makes
+  ``is_active`` O(few).  For every atom added to the instance it records,
+  per TGD whose head matches the atom, the frontier-binding tuple the atom
+  witnesses.  A trigger is then active iff its frontier tuple is absent.
+  Because chase steps only ever *add* atoms, deactivation is monotone: a
+  cache hit is permanent, and no entry ever needs revalidation.  (The only
+  consumer that removes atoms — the derivation DFS — undoes additions in
+  strict LIFO order, for which :meth:`HeadWitnessIndex.forget` reverts
+  exactly the entries the mirrored :meth:`note` created.)
+
+* :class:`ChaseEngine` — instance + witness cache + a deduplicated trigger
+  worklist.  Triggers are enqueued once (keyed by ``Trigger.key``) in
+  canonical order per discovery batch; the worklist itself is purely
+  insertion-ordered (list position is the monotone insertion counter), so
+  no caller ever re-sorts trigger lists with string keys.  ``apply`` adds the
+  result atom, feeds the witness cache, and incrementally discovers the
+  triggers the new atom enables; it returns an :class:`ApplyToken` that
+  ``undo`` can revert, which is what lets the derivation DFS explore
+  alternative orderings without deep-copying the instance or its indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import match_atom
+from repro.core.instance import Instance
+from repro.core.terms import Term
+from repro.chase.trigger import Trigger, new_triggers, satisfies_head, triggers_on
+from repro.tgds.tgd import TGD
+
+
+class HeadWitnessIndex:
+    """Frontier-binding tuples whose head is already witnessed, per TGD.
+
+    ``note(atom)`` extracts, for each TGD whose head predicate matches, the
+    unique frontier tuple the atom witnesses (if the head matches at all)
+    and records it.  ``witnessed(trigger)`` is then a set lookup — the
+    indexed replacement for the repeated ``satisfies_head`` scans.
+
+    Correctness: a candidate atom matches ``head(σ)`` under a partial
+    frontier binding ``h|fr(σ)`` iff it matches under the empty binding
+    *and* its extracted frontier tuple equals the trigger's, because every
+    frontier position pins the candidate's term directly and the remaining
+    (existential) positions only carry internal consistency constraints.
+    """
+
+    def __init__(self, tgds: Iterable[TGD], instance: Optional[Instance] = None):
+        self._witnessed: Dict[TGD, Set[Tuple[Term, ...]]] = {}
+        self._tgds_by_head: Dict[str, List[TGD]] = {}
+        for tgd in tgds:
+            if tgd in self._witnessed:
+                continue
+            self._witnessed[tgd] = set()
+            self._tgds_by_head.setdefault(tgd.head.predicate, []).append(tgd)
+        if instance is not None:
+            for atom in instance:
+                self.note(atom)
+
+    def note(self, atom: Atom) -> List[Tuple[TGD, Tuple[Term, ...]]]:
+        """Record every frontier tuple ``atom`` witnesses; returns new entries.
+
+        The returned list is the undo token for :meth:`forget`.
+        """
+        added: List[Tuple[TGD, Tuple[Term, ...]]] = []
+        for tgd in self._tgds_by_head.get(atom.predicate, ()):
+            binding = match_atom(tgd.head, atom)
+            if binding is None:
+                continue
+            key = tuple(binding[v] for v in tgd.frontier_order)
+            bucket = self._witnessed[tgd]
+            if key not in bucket:
+                bucket.add(key)
+                added.append((tgd, key))
+        return added
+
+    def forget(self, entries: Iterable[Tuple[TGD, Tuple[Term, ...]]]) -> None:
+        """Revert entries a :meth:`note` call created (LIFO undo only)."""
+        for tgd, key in entries:
+            self._witnessed[tgd].discard(key)
+
+    def witnessed(self, trigger: Trigger) -> bool:
+        """Is the trigger's head already witnessed (i.e. the trigger inactive)?"""
+        return trigger.frontier_tuple() in self._witnessed[trigger.tgd]
+
+    def consistent_with(self, instance: Instance) -> bool:
+        """Brute-force audit: does the cache agree with ``satisfies_head``?
+
+        Used by property tests; quadratic, never called on hot paths.
+        """
+        for tgd, cached in self._witnessed.items():
+            recomputed = set()
+            for atom in instance.with_predicate(tgd.head.predicate):
+                binding = match_atom(tgd.head, atom)
+                if binding is not None:
+                    recomputed.add(tuple(binding[v] for v in tgd.frontier_order))
+            if cached != recomputed:
+                return False
+            for key in cached:
+                frontier_binding = dict(zip(tgd.frontier_order, key))
+                if not satisfies_head(instance, tgd, frontier_binding):
+                    return False
+        return True
+
+
+class ApplyToken:
+    """Everything one ``ChaseEngine.apply`` changed, for ``undo``."""
+
+    __slots__ = ("trigger", "atom", "added", "witness_entries", "discovered")
+
+    def __init__(self, trigger, atom, added, witness_entries, discovered):
+        self.trigger = trigger
+        self.atom = atom
+        #: True iff the result atom was new to the instance.
+        self.added = added
+        self.witness_entries = witness_entries
+        #: Triggers enqueued by this application, in enqueue order.
+        self.discovered = discovered
+
+
+class ChaseEngine:
+    """Instance + head-witness cache + deduplicated trigger worklist.
+
+    ``pending`` is the insertion-ordered worklist (FIFO pops index 0, LIFO
+    the last index — exactly the strategy contract of ``restricted_chase``).
+    Discovery batches are enqueued in canonical (:attr:`Trigger.canonical_key`)
+    order so derivations are reproducible across runs regardless of hash
+    randomization; within the worklist, insertion order is the only
+    ordering — no string sorts on the hot path.
+    """
+
+    def __init__(self, database, tgds: Sequence[TGD], track_witnesses: bool = True):
+        self.tgds: Tuple[TGD, ...] = tuple(tgds)
+        if isinstance(database, Instance):
+            seed_atoms = database.sorted_atoms()
+        else:
+            seed_atoms = sorted(database, key=Atom.sort_key)
+        self.instance = Instance(seed_atoms)
+        self.witnesses: Optional[HeadWitnessIndex] = (
+            HeadWitnessIndex(self.tgds, self.instance) if track_witnesses else None
+        )
+        self._seen: Set[tuple] = set()
+        self.pending: List[Trigger] = []
+        self._enqueue(triggers_on(self.tgds, self.instance))
+
+    # -- worklist ----------------------------------------------------------
+
+    def _enqueue(self, triggers: Iterable[Trigger]) -> List[Trigger]:
+        batch = sorted(
+            (t for t in triggers if t.key not in self._seen),
+            key=lambda t: t.canonical_key,
+        )
+        for trigger in batch:
+            self._seen.add(trigger.key)
+        self.pending.extend(batch)
+        return batch
+
+    def active_pending(self) -> List[Trigger]:
+        """The active pending triggers in canonical order (a snapshot)."""
+        return sorted(
+            (t for t in self.pending if self.is_active(t)),
+            key=lambda t: t.canonical_key,
+        )
+
+    def take_pending(self) -> List[Trigger]:
+        """Drain the worklist (round-based engines consume whole batches)."""
+        batch = self.pending
+        self.pending = []
+        return batch
+
+    # -- activity ----------------------------------------------------------
+
+    def is_active(self, trigger: Trigger) -> bool:
+        """Definition 3.1 activity, answered by the head-witness cache."""
+        if self.witnesses is None:
+            raise RuntimeError("engine was built with track_witnesses=False")
+        return not self.witnesses.witnessed(trigger)
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, trigger: Trigger) -> ApplyToken:
+        """Apply a trigger: add its result, feed indexes, discover triggers.
+
+        The caller owns removing the trigger from ``pending`` (engines pop
+        by strategy index; the DFS pops and later re-inserts).  Returns an
+        :class:`ApplyToken` that :meth:`undo` can revert.
+        """
+        atom = trigger.result()
+        added = self.instance.add(atom)
+        witness_entries: List[Tuple[TGD, Tuple[Term, ...]]] = []
+        discovered: List[Trigger] = []
+        if added:
+            if self.witnesses is not None:
+                witness_entries = self.witnesses.note(atom)
+            discovered = self._enqueue(new_triggers(self.tgds, self.instance, [atom]))
+        return ApplyToken(trigger, atom, added, witness_entries, discovered)
+
+    def undo(self, token: ApplyToken) -> None:
+        """Revert one :meth:`apply` (strict LIFO discipline).
+
+        Removes the discovered triggers from the tail of ``pending``, the
+        witness entries the atom created, and the atom itself.  The applied
+        trigger is *not* re-inserted into ``pending``; the caller that
+        popped it re-inserts it at its original position.
+        """
+        if not token.added:
+            return
+        for _ in token.discovered:
+            trigger = self.pending.pop()
+            self._seen.discard(trigger.key)
+        if self.witnesses is not None:
+            self.witnesses.forget(token.witness_entries)
+        self.instance.discard(token.atom)
+
+    def state_key(self) -> frozenset:
+        """A hashable key for the current atom set (DFS memoization)."""
+        return frozenset(self.instance)

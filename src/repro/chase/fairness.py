@@ -75,7 +75,7 @@ def everlasting_triggers(
     suspects = derivation.persistent_active_triggers(tgds)
     return sorted(
         ((m, t) for m, t in suspects if m <= horizon),
-        key=lambda pair: (pair[0], repr(pair[1].key)),
+        key=lambda pair: (pair[0], pair[1].canonical_key),
     )
 
 

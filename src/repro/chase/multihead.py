@@ -24,7 +24,7 @@ from repro.tgds.tgd import MultiHeadTGD
 class MultiHeadTrigger:
     """A trigger ``(σ, h)`` for a multi-head TGD."""
 
-    __slots__ = ("tgd", "h", "_results", "_key")
+    __slots__ = ("tgd", "h", "_results", "_key", "_frontier_binding", "_canonical")
 
     def __init__(self, tgd: MultiHeadTGD, h):
         body_vars = {v for atom in tgd.body for v in atom.variables()}
@@ -33,6 +33,10 @@ class MultiHeadTrigger:
         object.__setattr__(self, "h", Substitution(mapping))
         object.__setattr__(self, "_results", None)
         object.__setattr__(self, "_key", (tgd, self.h.canonical_items()))
+        object.__setattr__(
+            self, "_frontier_binding", {v: mapping[v] for v in tgd.frontier}
+        )
+        object.__setattr__(self, "_canonical", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("MultiHeadTrigger is immutable")
@@ -41,13 +45,26 @@ class MultiHeadTrigger:
     def key(self) -> tuple:
         return self._key
 
+    @property
+    def canonical_key(self) -> str:
+        """Deterministic total-order key (``repr(key)``), cached."""
+        cached = self._canonical
+        if cached is None:
+            cached = repr(self._key)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
+    def frontier_binding(self) -> Dict:
+        """``h|fr(σ)`` as a plain dict, cached at construction (read-only)."""
+        return self._frontier_binding
+
     def results(self) -> Tuple[Atom, ...]:
         """All head atoms instantiated, sharing deterministic fresh nulls."""
         cached = self._results
         if cached is not None:
             return cached
         binding = sorted(self.h.items(), key=lambda kv: kv[0].name)
-        payload = self.tgd.name + "\x1e" + repr(self.tgd) + "\x1e"
+        payload = self.tgd.digest_prefix()
         payload += "\x1e".join(f"{v.name}\x1f{t!r}" for v, t in binding)
         digest = hashlib.blake2b(payload.encode(), digest_size=9).hexdigest()
         mapping: Dict[Term, Term] = dict(self.h.items())
@@ -69,9 +86,8 @@ class MultiHeadTrigger:
 
 def is_active_multihead(trigger: MultiHeadTrigger, instance: Instance) -> bool:
     """No extension of ``h|fr(σ)`` maps the whole head into ``instance``."""
-    frontier_binding = {v: trigger.h[v] for v in trigger.tgd.frontier}
     return (
-        find_homomorphism(trigger.tgd.head, instance, partial=frontier_binding)
+        find_homomorphism(trigger.tgd.head, instance, partial=trigger.frontier_binding())
         is None
     )
 
@@ -99,7 +115,7 @@ def active_multihead_triggers_on(
             for t in multihead_triggers_on(tgds, instance)
             if is_active_multihead(t, instance)
         ),
-        key=lambda t: repr(t.key),
+        key=lambda t: t.canonical_key,
     )
 
 

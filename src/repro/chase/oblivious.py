@@ -4,16 +4,17 @@ The oblivious chase of ``D`` w.r.t. ``T`` is the ⊆-minimal instance that
 contains ``D`` and is closed under (active or not) trigger applications.
 Null invention is deterministic per trigger (Definition 3.1's
 ``c_x^{σ,h}``), so the fixpoint is unique and order-independent: we compute
-it round by round.
+it round by round on the shared kernel, draining the engine's worklist one
+batch per round (activity checks are skipped entirely — the engine runs
+with the witness cache disabled).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set
+from typing import Sequence
 
-from repro.core.atoms import Atom
 from repro.core.instance import Instance
-from repro.chase.trigger import Trigger, new_triggers, triggers_on
+from repro.chase.engine import ChaseEngine
 from repro.tgds.tgd import TGD
 
 
@@ -47,37 +48,23 @@ def oblivious_chase(
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
     Applies every trigger (active or not); set semantics deduplicates
-    results.  A round applies all triggers touching the atoms added in the
-    previous round.
+    results.  A round applies the triggers discovered from the atoms of
+    the previous round (the engine's pending batch).
     """
-    instance = Instance(database.atoms())
-    frontier: List[Atom] = list(instance.atoms())
-    applied: Set[tuple] = set()
+    engine = ChaseEngine(database, tgds, track_witnesses=False)
     applications = 0
     rounds = 0
-    first_round = True
-    while frontier:
-        if rounds >= max_rounds or len(instance) > max_atoms:
-            return ObliviousResult(instance, False, rounds, applications)
+    while engine.pending:
+        if rounds >= max_rounds or len(engine.instance) > max_atoms:
+            return ObliviousResult(engine.instance, False, rounds, applications)
         rounds += 1
-        if first_round:
-            batch = list(triggers_on(tgds, instance))
-            first_round = False
-        else:
-            batch = list(new_triggers(tgds, instance, frontier))
-        next_frontier: List[Atom] = []
-        for trigger in sorted(batch, key=lambda t: repr(t.key)):
-            if trigger.key in applied:
-                continue
-            applied.add(trigger.key)
-            atom = trigger.result()
-            if instance.add(atom):
+        for trigger in engine.take_pending():
+            token = engine.apply(trigger)
+            if token.added:
                 applications += 1
-                next_frontier.append(atom)
-            if len(instance) > max_atoms:
-                return ObliviousResult(instance, False, rounds, applications)
-        frontier = next_frontier
-    return ObliviousResult(instance, True, rounds, applications)
+            if len(engine.instance) > max_atoms:
+                return ObliviousResult(engine.instance, False, rounds, applications)
+    return ObliviousResult(engine.instance, True, rounds, applications)
 
 
 def oblivious_chase_terminates(

@@ -15,24 +15,20 @@ Strategies:
   orders (the caterpillar replayer uses this).
 
 Since atoms are never removed, a trigger deactivated once can never become
-active again; the engine exploits this with an incremental worklist.
+active again; the engine exploits this with an incremental worklist and the
+head-witness cache of :class:`repro.chase.engine.ChaseEngine` — activity
+checks are set lookups, not instance scans.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, List, Optional, Sequence, Set, Union
+from typing import Callable, List, Optional, Sequence, Union
 
-from repro.core.atoms import Atom
-from repro.core.instance import Database, Instance
+from repro.core.instance import Instance
 from repro.chase.derivation import Derivation
-from repro.chase.trigger import (
-    Trigger,
-    active_triggers_on,
-    is_active,
-    new_triggers,
-    triggers_on,
-)
+from repro.chase.engine import ChaseEngine
+from repro.chase.trigger import Trigger, active_triggers_on
 from repro.tgds.tgd import TGD
 
 StrategyFn = Callable[[List[Trigger], Instance], int]
@@ -91,31 +87,20 @@ def restricted_chase(
     (the derivation is then a proper prefix).
     """
     choose = _resolve_strategy(strategy, seed)
-    instance = Instance(database.atoms())
-    derivation = Derivation(instance)
-    pending: List[Trigger] = sorted(
-        triggers_on(tgds, instance), key=lambda t: repr(t.key)
-    )
-    enqueued: Set[tuple] = {t.key for t in pending}
+    engine = ChaseEngine(database, tgds)
+    derivation = Derivation(engine.instance)
     steps = 0
-    while pending:
+    while engine.pending:
         if steps >= max_steps:
-            return ChaseResult(instance, derivation, terminated=False, steps=steps)
-        index = choose(pending, instance)
-        trigger = pending.pop(index)
-        if not is_active(trigger, instance):
+            return ChaseResult(engine.instance, derivation, terminated=False, steps=steps)
+        index = choose(engine.pending, engine.instance)
+        trigger = engine.pending.pop(index)
+        if not engine.is_active(trigger):
             continue
-        atom = trigger.result()
-        instance.add(atom)
+        engine.apply(trigger)
         derivation.append(trigger)
         steps += 1
-        for fresh in sorted(
-            new_triggers(tgds, instance, [atom]), key=lambda t: repr(t.key)
-        ):
-            if fresh.key not in enqueued:
-                enqueued.add(fresh.key)
-                pending.append(fresh)
-    return ChaseResult(instance, derivation, terminated=True, steps=steps)
+    return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
 
 
 def restricted_chase_naive(
@@ -126,20 +111,20 @@ def restricted_chase_naive(
     """Ablation baseline: re-enumerate *all* active triggers at every step.
 
     Semantically equivalent to :func:`restricted_chase` with the FIFO
-    strategy, but without the incremental worklist — the cost gap between
-    the two is measured by ``benchmarks/bench_ablation_engine.py``.
+    strategy, but without the incremental worklist or the head-witness
+    cache — every step re-matches every TGD body against the whole
+    instance and re-scans for head witnesses.  The cost gap between the
+    two engines is measured by ``benchmarks/harness.py`` and
+    ``benchmarks/bench_ablation_engine.py``.
     """
     instance = Instance(database.atoms())
     derivation = Derivation(instance)
     steps = 0
     while steps < max_steps:
-        trigger = next(
-            iter(
-                sorted(
-                    active_triggers_on(tgds, instance), key=lambda t: repr(t.key)
-                )
-            ),
-            None,
+        trigger = min(
+            active_triggers_on(tgds, instance),
+            key=lambda t: t.canonical_key,
+            default=None,
         )
         if trigger is None:
             return ChaseResult(instance, derivation, terminated=True, steps=steps)
@@ -174,7 +159,13 @@ def exists_derivation_of_length(
     when exhaustive search (within ``max_nodes`` explored states) proves
     every derivation is shorter.  Raises ``SearchBudgetExceeded`` when the
     node budget is hit without an answer.
+
+    The DFS runs on a single :class:`ChaseEngine`: each branch applies a
+    trigger and, on backtracking, reverts it via the engine's undo token —
+    no per-node copies of the atom set or its indexes, and no per-node
+    re-enumeration of triggers.
     """
+    engine = ChaseEngine(database, tgds)
     budget = [max_nodes]
     # state -> deepest depth at which the state was explored and failed.
     # A revisit at depth k can only succeed if the longest continuation from
@@ -184,7 +175,7 @@ def exists_derivation_of_length(
     # grow strictly along a path and no path revisits a state.)
     failed_at: dict = {}
 
-    def dfs(instance: Instance, steps: List[Trigger]) -> Optional[List[Trigger]]:
+    def dfs(steps: List[Trigger]) -> Optional[List[Trigger]]:
         if len(steps) >= length:
             return list(steps)
         if budget[0] <= 0:
@@ -192,23 +183,24 @@ def exists_derivation_of_length(
                 f"explored {max_nodes} states without an answer"
             )
         budget[0] -= 1
-        state = frozenset(instance.atoms())
+        state = engine.state_key()
         if failed_at.get(state, -1) >= len(steps):
             return None
-        for trigger in sorted(
-            active_triggers_on(tgds, instance), key=lambda t: repr(t.key)
-        ):
-            extended = instance.copy()
-            extended.add(trigger.result())
+        for trigger in engine.active_pending():
+            index = engine.pending.index(trigger)
+            engine.pending.pop(index)
+            token = engine.apply(trigger)
             steps.append(trigger)
-            found = dfs(extended, steps)
+            found = dfs(steps)
+            steps.pop()
+            engine.undo(token)
+            engine.pending.insert(index, trigger)
             if found is not None:
                 return found
-            steps.pop()
         failed_at[state] = max(failed_at.get(state, -1), len(steps))
         return None
 
-    found = dfs(Instance(database.atoms()), [])
+    found = dfs([])
     if found is None:
         return None
     return Derivation(Instance(database.atoms()), found)

@@ -11,16 +11,18 @@ unambiguously.
 
 Null names are derived from a cryptographic digest of the trigger's
 canonical serialization, so two applications of the same trigger (in any
-order, in any run) invent the *same* nulls.
+order, in any run) invent the *same* nulls.  The TGD part of the digest
+payload is cached on the TGD itself (:meth:`repro.tgds.tgd.TGD.digest_prefix`),
+so repeated ``result()`` paths never re-serialize the rule.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.core.atoms import Atom
-from repro.core.homomorphism import homomorphisms, match_atom
+from repro.core.homomorphism import candidate_atoms, homomorphisms, match_atom
 from repro.core.instance import Instance
 from repro.core.substitution import Substitution
 from repro.core.terms import Null, Term, Variable
@@ -29,7 +31,7 @@ from repro.tgds.tgd import TGD
 
 def _trigger_digest(tgd: TGD, body_binding: Sequence[Tuple[Variable, Term]]) -> str:
     """A short stable digest identifying ``(σ, h|body-vars)``."""
-    payload = tgd.name + "\x1f" + repr(tgd) + "\x1e"
+    payload = tgd.digest_prefix()
     payload += "\x1e".join(f"{v.name}\x1f{t!r}" for v, t in body_binding)
     return hashlib.blake2b(payload.encode(), digest_size=9).hexdigest()
 
@@ -37,7 +39,7 @@ def _trigger_digest(tgd: TGD, body_binding: Sequence[Tuple[Variable, Term]]) -> 
 class Trigger:
     """A trigger ``(σ, h)``; ``h`` is stored restricted to the body variables."""
 
-    __slots__ = ("tgd", "h", "_result", "_key")
+    __slots__ = ("tgd", "h", "_result", "_key", "_frontier_binding", "_canonical")
 
     def __init__(self, tgd: TGD, h):
         mapping = {}
@@ -53,6 +55,12 @@ class Trigger:
         object.__setattr__(self, "h", Substitution(mapping))
         object.__setattr__(self, "_result", None)
         object.__setattr__(self, "_key", (tgd, self.h.canonical_items()))
+        object.__setattr__(
+            self,
+            "_frontier_binding",
+            {v: mapping[v] for v in tgd.frontier_order},
+        )
+        object.__setattr__(self, "_canonical", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("Trigger is immutable")
@@ -62,9 +70,36 @@ class Trigger:
         """Hashable identity of the trigger: ``(σ, h)`` up to representation."""
         return self._key
 
+    @property
+    def canonical_key(self) -> str:
+        """A deterministic total-order key for this trigger, cached.
+
+        The string equals ``repr(self.key)`` (the ordering the engines have
+        always used), but is computed once per trigger instead of once per
+        comparison site, so canonical enqueue ordering stays cheap.
+        """
+        cached = self._canonical
+        if cached is None:
+            cached = repr(self._key)
+            object.__setattr__(self, "_canonical", cached)
+        return cached
+
     def frontier_substitution(self) -> Substitution:
         """``h|fr(σ)``."""
         return self.h.restrict(self.tgd.frontier)
+
+    def frontier_binding(self) -> Dict[Variable, Term]:
+        """``h|fr(σ)`` as a plain dict, cached at construction.
+
+        Treat as read-only: ``is_active`` and the head-witness cache consult
+        it on every check.
+        """
+        return self._frontier_binding
+
+    def frontier_tuple(self) -> Tuple[Term, ...]:
+        """The frontier image in ``tgd.frontier_order`` — the witness-cache key."""
+        binding = self._frontier_binding
+        return tuple(binding[v] for v in self.tgd.frontier_order)
 
     def body_image(self) -> List[Atom]:
         """``h(body(σ))``: the atoms of the instance this trigger matched."""
@@ -111,9 +146,11 @@ def satisfies_head(instance: Instance, tgd: TGD, frontier_binding: Dict[Term, Te
 
     ``frontier_binding`` maps the frontier variables to terms; existential
     variables may match anything, consistently across repeated occurrences.
+    Candidates come from the instance's term-position index (bound frontier
+    positions), not a full predicate-bucket scan.
     """
     head = tgd.head
-    for candidate in instance.with_predicate(head.predicate):
+    for candidate in candidate_atoms(instance, head, frontier_binding):
         if match_atom(head, candidate, frontier_binding) is not None:
             return True
     return False
@@ -121,8 +158,7 @@ def satisfies_head(instance: Instance, tgd: TGD, frontier_binding: Dict[Term, Te
 
 def is_active(trigger: Trigger, instance: Instance) -> bool:
     """Definition 3.1: the trigger is active iff its head is not yet witnessed."""
-    frontier_binding = {v: trigger.h[v] for v in trigger.tgd.frontier}
-    return not satisfies_head(instance, trigger.tgd, frontier_binding)
+    return not satisfies_head(instance, trigger.tgd, trigger.frontier_binding())
 
 
 def apply_trigger(instance: Instance, trigger: Trigger) -> Atom:

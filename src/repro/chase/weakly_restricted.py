@@ -12,16 +12,22 @@ guard-descendants) the occurrences whose trigger is no longer active.
 Occurrences are anchored: each derived occurrence records which occurrence
 of its (guard-)parent atom it mirrors, giving the per-occurrence ``≺gp``
 forest the proof needs.
+
+The runner shares the kernel machinery of :mod:`repro.chase.engine`:
+triggers are discovered incrementally from the atoms each round commits,
+activity is answered by the head-witness cache, and anchor occurrences are
+found through an atom → occurrence-ids index instead of a scan.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.instance import Instance
 from repro.chase.derivation import Derivation
-from repro.chase.trigger import Trigger, is_active, triggers_on
+from repro.chase.engine import HeadWitnessIndex
+from repro.chase.trigger import Trigger, is_active, new_triggers, triggers_on
 from repro.core.homomorphism import is_homomorphism
 from repro.tgds.guardedness import guard_of
 from repro.tgds.tgd import TGD
@@ -81,10 +87,17 @@ class WeaklyRestrictedChase:
         self.occurrences: List[WROccurrence] = []
         self._applied: Set[tuple] = set()
         self._atom_view = Instance()
+        self._occ_ids_by_atom: Dict[Atom, List[int]] = {}
+        self._witnesses = HeadWitnessIndex(self.tgds)
+        self._triggers: Dict[tuple, Trigger] = {}
         for atom, depth in roots:
             occ = WROccurrence(len(self.occurrences), atom, 0, None, None, depth)
             self.occurrences.append(occ)
-            self._atom_view.add(atom)
+            self._occ_ids_by_atom.setdefault(atom, []).append(occ.occ_id)
+            if self._atom_view.add(atom):
+                self._witnesses.note(atom)
+        for trigger in triggers_on(self.tgds, self._atom_view):
+            self._triggers.setdefault(trigger.key, trigger)
 
     def _anchor_index(self, tgd: TGD) -> int:
         """Body index of the anchor atom: the guard when guarded, else 0."""
@@ -97,6 +110,13 @@ class WeaklyRestrictedChase:
         """The set-semantics view of the current multiset."""
         return self._atom_view.copy()
 
+    def _active_triggers(self) -> List[Trigger]:
+        """Currently active triggers, canonically ordered (witness-cache check)."""
+        return sorted(
+            (t for t in self._triggers.values() if not self._witnesses.witnessed(t)),
+            key=lambda t: t.canonical_key,
+        )
+
     def run(self, rounds: int, max_occurrences: int = 50_000) -> bool:
         """Run ``rounds`` weakly restricted steps.
 
@@ -105,25 +125,15 @@ class WeaklyRestrictedChase:
         first.
         """
         for round_index in range(1, rounds + 1):
-            active = sorted(
-                (
-                    t
-                    for t in triggers_on(self.tgds, self._atom_view)
-                    if is_active(t, self._atom_view)
-                ),
-                key=lambda t: repr(t.key),
-            )
+            active = self._active_triggers()
             if not active:
                 return True
             new_occurrences: List[WROccurrence] = []
             for trigger in active:
                 anchor_index = self._anchor_index(trigger.tgd)
                 anchor_atom = trigger.tgd.body[anchor_index].apply(trigger.h)
-                anchor_occurrences = [
-                    occ for occ in self.occurrences if occ.atom == anchor_atom
-                ]
-                for anchor in anchor_occurrences:
-                    key = (trigger.key, anchor.occ_id)
+                for anchor_id in self._occ_ids_by_atom.get(anchor_atom, ()):
+                    key = (trigger.key, anchor_id)
                     if key in self._applied:
                         continue
                     self._applied.add(key)
@@ -132,8 +142,8 @@ class WeaklyRestrictedChase:
                         trigger.result(),
                         round_index,
                         trigger,
-                        anchor.occ_id,
-                        anchor.root_depth,
+                        anchor_id,
+                        self.occurrences[anchor_id].root_depth,
                     )
                     new_occurrences.append(occ)
                     if len(self.occurrences) + len(new_occurrences) > max_occurrences:
@@ -145,9 +155,16 @@ class WeaklyRestrictedChase:
         return False
 
     def _commit(self, new_occurrences: List[WROccurrence]) -> None:
+        new_atoms: List[Atom] = []
         for occ in new_occurrences:
             self.occurrences.append(occ)
-            self._atom_view.add(occ.atom)
+            self._occ_ids_by_atom.setdefault(occ.atom, []).append(occ.occ_id)
+            if self._atom_view.add(occ.atom):
+                self._witnesses.note(occ.atom)
+                new_atoms.append(occ.atom)
+        if new_atoms:
+            for trigger in new_triggers(self.tgds, self._atom_view, new_atoms):
+                self._triggers.setdefault(trigger.key, trigger)
 
     def anchor_descendants(self, occ_id: int) -> Set[int]:
         """All occurrences whose anchor-ancestor chain passes ``occ_id``."""

@@ -11,19 +11,23 @@ paper additionally *freeze* some non-constant terms (the stop relation
 ``≺s`` fixes the frontier terms; Definition 3.1's active-trigger test fixes
 ``h|fr(σ)``); the ``frozen`` parameter supports that.
 
-The search is a straightforward backtracking join with per-predicate
-indexing and a fail-first atom ordering; it is the single matching engine
-used by triggers, the stop relation, conjunctive queries, and isomorphism
-tests.
+The search is a backtracking join over the target's indexes; it is the
+single matching engine used by triggers, the stop relation, conjunctive
+queries, and isomorphism tests.  For each pattern atom the candidate set is
+the smallest term-position bucket among its bound positions (constants,
+frozen terms, and already-bound variables) — the per-predicate bucket is
+only the fallback for fully unbound patterns.  Atom ordering is *dynamic*:
+at every search depth the remaining pattern atom with the fewest candidates
+under the current binding is matched next, so each new binding immediately
+re-scores (and prunes) the rest of the body.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set
 
 from repro.core.atoms import Atom
 from repro.core.instance import Instance
-from repro.core.substitution import Substitution
 from repro.core.terms import Constant, Term
 
 
@@ -62,29 +66,35 @@ def match_atom(
     return binding
 
 
-def _order_atoms(atoms: Sequence[Atom], bound: Set[Term]) -> List[Atom]:
-    """Greedy fail-first ordering: prefer atoms sharing terms with ``bound``.
+def candidate_atoms(
+    index: Instance,
+    pattern: Atom,
+    binding: Optional[Dict[Term, Term]] = None,
+    frozen: frozenset = frozenset(),
+):
+    """The smallest candidate bucket for ``pattern`` under ``binding``.
 
-    Connected atoms are matched early so bindings propagate and prune the
-    search; ties are broken deterministically.
+    Intersecting all bound-position buckets would be exact; picking the
+    smallest one and letting :func:`match_atom` verify the rest is cheaper
+    and just as correct.  Falls back to the per-predicate bucket when no
+    position is bound.
     """
-    remaining = list(atoms)
-    ordered: List[Atom] = []
-    known = set(bound)
-    while remaining:
-        def score(atom: Atom) -> tuple:
-            free = sum(
-                1
-                for t in set(atom.terms)
-                if not isinstance(t, Constant) and t not in known
-            )
-            return (free, atom.sort_key())
-
-        best = min(remaining, key=score)
-        remaining.remove(best)
-        ordered.append(best)
-        known.update(best.terms)
-    return ordered
+    best = None
+    for i, term in enumerate(pattern.terms, start=1):
+        if isinstance(term, Constant) or term in frozen:
+            value = term
+        else:
+            value = binding.get(term) if binding else None
+            if value is None:
+                continue
+        bucket = index.with_term_at(pattern.predicate, i, value)
+        if best is None or len(bucket) < len(best):
+            best = bucket
+            if not best:
+                return best
+    if best is not None:
+        return best
+    return index.with_predicate(pattern.predicate)
 
 
 def homomorphisms(
@@ -101,33 +111,62 @@ def homomorphisms(
     themselves.  Yields plain dicts (term -> term); each yielded dict is an
     independent copy.
 
-    ``order`` selects the atom ordering: ``"fail-first"`` (default — match
-    connected atoms early so bindings prune the search) or ``"given"``
-    (take the source in its written order; the ablation baseline).
+    ``order`` selects the atom ordering: ``"fail-first"`` (default — the
+    dynamic most-constrained-atom order, re-scored as bindings accumulate),
+    ``"given"`` (take the source in its written order, with indexed
+    candidate lookup), or ``"scan"`` (written order over plain predicate
+    buckets; the pre-index ablation baseline).
     """
     source_atoms = list(source)
     index = _as_index(target)
     frozen_set = frozenset(frozen)
     start: Dict[Term, Term] = dict(partial) if partial else {}
-    bound_terms = set(start)
+
     if order == "fail-first":
-        ordered = _order_atoms(source_atoms, bound_terms)
-    elif order == "given":
-        ordered = list(source_atoms)
+
+        def search(remaining: List[Atom], binding: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+            if not remaining:
+                yield dict(binding)
+                return
+            # Dynamic most-constrained-atom choice: the remaining pattern
+            # with the smallest candidate bucket under the current binding.
+            best_j = 0
+            best_candidates = None
+            for j, pattern_atom in enumerate(remaining):
+                candidates = candidate_atoms(index, pattern_atom, binding, frozen_set)
+                if best_candidates is None or len(candidates) < len(best_candidates):
+                    best_j = j
+                    best_candidates = candidates
+                    if not candidates:
+                        return
+            pattern = remaining[best_j]
+            rest = remaining[:best_j] + remaining[best_j + 1:]
+            for candidate in best_candidates:
+                extended = match_atom(pattern, candidate, binding, frozen_set)
+                if extended is not None:
+                    yield from search(rest, extended)
+
+        yield from search(source_atoms, start)
+        return
+
+    if order == "given":
+        pick = lambda pattern, binding: candidate_atoms(index, pattern, binding, frozen_set)
+    elif order == "scan":
+        pick = lambda pattern, binding: index.with_predicate(pattern.predicate)
     else:
         raise ValueError(f"unknown atom order {order!r}")
 
-    def search(i: int, binding: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
-        if i == len(ordered):
+    def sequential(i: int, binding: Dict[Term, Term]) -> Iterator[Dict[Term, Term]]:
+        if i == len(source_atoms):
             yield dict(binding)
             return
-        pattern = ordered[i]
-        for candidate in index.with_predicate(pattern.predicate):
+        pattern = source_atoms[i]
+        for candidate in pick(pattern, binding):
             extended = match_atom(pattern, candidate, binding, frozen_set)
             if extended is not None:
-                yield from search(i + 1, extended)
+                yield from sequential(i + 1, extended)
 
-    yield from search(0, start)
+    yield from sequential(0, start)
 
 
 def find_homomorphism(

@@ -5,28 +5,49 @@ constants and nulls; a *database* is a finite set of facts (constants only).
 The weakly restricted chase of Appendix C operates on *multiset* instances,
 where syntactically equal atoms coming from different mirror copies are
 distinct; :class:`MultisetInstance` models those via tagged occurrences.
+
+Indexing
+--------
+
+Instances keep two inverted indexes, both maintained incrementally by
+``add``/``discard``/``copy``:
+
+* a per-predicate index (``with_predicate``), and
+* a term-position index ``(predicate, position, term) → atoms``
+  (``with_term_at``, positions 1-based as in the paper's ``(R, i)``).
+
+The homomorphism engine intersects term-position buckets to prune its
+candidate sets; the per-predicate bucket is only the fallback for patterns
+with no bound position.  All buckets are insertion-ordered (plain dicts), so
+iteration order is deterministic for a deterministic insertion sequence —
+the chase engines rely on this for reproducible derivations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Optional, Set, Tuple
+from typing import Dict, Iterable, Iterator, KeysView, Optional, Set, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.schema import Schema
-from repro.core.terms import Constant, Null, Term, Variable
+from repro.core.terms import Constant, Null, Term
+
+#: Shared empty bucket; never mutated, only handed out as a keys view.
+_EMPTY: Dict = {}
 
 
 class Instance:
-    """A mutable set of ground atoms with a per-predicate index.
+    """A mutable set of ground atoms with predicate and term-position indexes.
 
-    The index makes homomorphism search and active-trigger checks cheap:
-    candidates for a body atom are looked up by predicate instead of scanning
-    the whole instance.
+    The indexes make homomorphism search and active-trigger checks cheap:
+    candidates for a body atom are the intersection of the buckets of its
+    bound positions instead of a scan over the whole instance.
     """
 
     def __init__(self, atoms: Optional[Iterable[Atom]] = None):
-        self._atoms: Set[Atom] = set()
-        self._by_predicate: Dict[str, Set[Atom]] = {}
+        # All three maps use dicts as insertion-ordered sets (values unused).
+        self._atoms: Dict[Atom, None] = {}
+        self._by_predicate: Dict[str, Dict[Atom, None]] = {}
+        self._by_position: Dict[Tuple[str, int, Term], Dict[Atom, None]] = {}
         if atoms is not None:
             for atom in atoms:
                 self.add(atom)
@@ -39,8 +60,12 @@ class Instance:
             raise ValueError(f"instances contain ground atoms only, got {atom}")
         if atom in self._atoms:
             return False
-        self._atoms.add(atom)
-        self._by_predicate.setdefault(atom.predicate, set()).add(atom)
+        self._atoms[atom] = None
+        self._by_predicate.setdefault(atom.predicate, {})[atom] = None
+        by_position = self._by_position
+        predicate = atom.predicate
+        for i, term in enumerate(atom.terms, start=1):
+            by_position.setdefault((predicate, i, term), {})[atom] = None
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -51,17 +76,33 @@ class Instance:
         """Remove ``atom`` if present; returns True iff it was present."""
         if atom not in self._atoms:
             return False
-        self._atoms.discard(atom)
+        del self._atoms[atom]
         bucket = self._by_predicate.get(atom.predicate)
         if bucket is not None:
-            bucket.discard(atom)
+            bucket.pop(atom, None)
             if not bucket:
                 del self._by_predicate[atom.predicate]
+        by_position = self._by_position
+        predicate = atom.predicate
+        for i, term in enumerate(atom.terms, start=1):
+            key = (predicate, i, term)
+            position_bucket = by_position.get(key)
+            if position_bucket is not None:
+                position_bucket.pop(atom, None)
+                if not position_bucket:
+                    del by_position[key]
         return True
 
-    def with_predicate(self, predicate: str) -> Set[Atom]:
-        """All atoms whose predicate is ``predicate`` (possibly empty)."""
-        return self._by_predicate.get(predicate, set())
+    def with_predicate(self, predicate: str) -> KeysView:
+        """All atoms whose predicate is ``predicate`` (a set-like view)."""
+        return self._by_predicate.get(predicate, _EMPTY).keys()
+
+    def with_term_at(self, predicate: str, position: int, term: Term) -> KeysView:
+        """All atoms with ``term`` at 1-based ``position`` of ``predicate``.
+
+        The term-position index lookup: a set-like, insertion-ordered view.
+        """
+        return self._by_position.get((predicate, position, term), _EMPTY).keys()
 
     def __contains__(self, atom: Atom) -> bool:
         return atom in self._atoms
@@ -77,9 +118,9 @@ class Instance:
 
     def __eq__(self, other) -> bool:
         if isinstance(other, Instance):
-            return self._atoms == other._atoms
+            return self._atoms.keys() == other._atoms.keys()
         if isinstance(other, (set, frozenset)):
-            return self._atoms == other
+            return self._atoms.keys() == other
         return NotImplemented
 
     def atoms(self) -> Set[Atom]:
@@ -92,8 +133,9 @@ class Instance:
 
     def copy(self) -> "Instance":
         clone = Instance()
-        clone._atoms = set(self._atoms)
-        clone._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
+        clone._atoms = dict(self._atoms)
+        clone._by_predicate = {p: dict(d) for p, d in self._by_predicate.items()}
+        clone._by_position = {k: dict(d) for k, d in self._by_position.items()}
         return clone
 
     def domain(self) -> Set[Term]:
@@ -176,12 +218,16 @@ class MultisetInstance:
 
     Supports the operations needed by the weakly restricted chase
     (Definition C.4) and the ``Extract`` procedure: occurrence insertion,
-    iteration over occurrences, and a plain-set view of the atoms.
+    iteration over occurrences, and a plain-set view of the atoms.  Like
+    :class:`Instance` it keeps per-predicate and term-position indexes,
+    plus an atom → occurrences index for anchor lookups.
     """
 
     def __init__(self, occurrences: Optional[Iterable[Occurrence]] = None):
-        self._occurrences: Set[Occurrence] = set()
-        self._by_predicate: Dict[str, Set[Occurrence]] = {}
+        self._occurrences: Dict[Occurrence, None] = {}
+        self._by_predicate: Dict[str, Dict[Occurrence, None]] = {}
+        self._by_position: Dict[Tuple[str, int, Term], Dict[Occurrence, None]] = {}
+        self._by_atom: Dict[Atom, Dict[Occurrence, None]] = {}
         self._counts: Dict[Atom, int] = {}
         if occurrences is not None:
             for occ in occurrences:
@@ -191,9 +237,15 @@ class MultisetInstance:
         """Insert a tagged occurrence; returns True iff it was new."""
         if occurrence in self._occurrences:
             return False
-        self._occurrences.add(occurrence)
-        self._by_predicate.setdefault(occurrence.atom.predicate, set()).add(occurrence)
-        self._counts[occurrence.atom] = self._counts.get(occurrence.atom, 0) + 1
+        self._occurrences[occurrence] = None
+        atom = occurrence.atom
+        self._by_predicate.setdefault(atom.predicate, {})[occurrence] = None
+        for i, term in enumerate(atom.terms, start=1):
+            self._by_position.setdefault((atom.predicate, i, term), {})[
+                occurrence
+            ] = None
+        self._by_atom.setdefault(atom, {})[occurrence] = None
+        self._counts[atom] = self._counts.get(atom, 0) + 1
         return True
 
     def add_atom(self, atom: Atom, tag) -> Occurrence:
@@ -202,8 +254,16 @@ class MultisetInstance:
         self.add_occurrence(occ)
         return occ
 
-    def with_predicate(self, predicate: str) -> Set[Occurrence]:
-        return self._by_predicate.get(predicate, set())
+    def with_predicate(self, predicate: str) -> KeysView:
+        return self._by_predicate.get(predicate, _EMPTY).keys()
+
+    def with_term_at(self, predicate: str, position: int, term: Term) -> KeysView:
+        """All occurrences with ``term`` at 1-based ``position`` of ``predicate``."""
+        return self._by_position.get((predicate, position, term), _EMPTY).keys()
+
+    def occurrences_of(self, atom: Atom) -> KeysView:
+        """All occurrences carrying exactly ``atom`` (a set-like view)."""
+        return self._by_atom.get(atom, _EMPTY).keys()
 
     def multiplicity(self, atom: Atom) -> int:
         """How many occurrences of ``atom`` the multiset holds."""
@@ -235,8 +295,10 @@ class MultisetInstance:
 
     def copy(self) -> "MultisetInstance":
         clone = MultisetInstance()
-        clone._occurrences = set(self._occurrences)
-        clone._by_predicate = {p: set(s) for p, s in self._by_predicate.items()}
+        clone._occurrences = dict(self._occurrences)
+        clone._by_predicate = {p: dict(d) for p, d in self._by_predicate.items()}
+        clone._by_position = {k: dict(d) for k, d in self._by_position.items()}
+        clone._by_atom = {a: dict(d) for a, d in self._by_atom.items()}
         clone._counts = dict(self._counts)
         return clone
 

@@ -27,7 +27,17 @@ class TGD:
     text.
     """
 
-    __slots__ = ("body", "head", "name", "_frontier", "_existential", "_hash")
+    __slots__ = (
+        "body",
+        "head",
+        "name",
+        "_frontier",
+        "_frontier_order",
+        "_existential",
+        "_hash",
+        "_repr",
+        "_digest_prefix",
+    )
 
     def __init__(self, body: Iterable[Atom], head: Atom, name: Optional[str] = None):
         body = tuple(body)
@@ -44,8 +54,13 @@ class TGD:
         object.__setattr__(self, "head", head)
         object.__setattr__(self, "name", name or self._default_name(body, head))
         object.__setattr__(self, "_frontier", frontier)
+        object.__setattr__(
+            self, "_frontier_order", tuple(sorted(frontier, key=lambda v: v.name))
+        )
         object.__setattr__(self, "_existential", existential)
         object.__setattr__(self, "_hash", hash((body, head)))
+        object.__setattr__(self, "_repr", None)
+        object.__setattr__(self, "_digest_prefix", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("TGD is immutable")
@@ -72,9 +87,29 @@ class TGD:
         return self._frontier
 
     @property
+    def frontier_order(self) -> Tuple[Variable, ...]:
+        """The frontier variables in canonical (name) order.
+
+        Frontier-binding tuples (head-witness cache keys) use this order.
+        """
+        return self._frontier_order
+
+    @property
     def existential_variables(self) -> FrozenSet[Variable]:
         """Head variables that do not occur in the body (the ``z̄``)."""
         return self._existential
+
+    def digest_prefix(self) -> str:
+        """``name \\x1f repr \\x1e`` — the TGD part of trigger digests, cached.
+
+        Hoisted so repeated ``Trigger.result()`` paths do not re-serialize
+        the TGD for every null-name digest.
+        """
+        cached = self._digest_prefix
+        if cached is None:
+            cached = self.name + "\x1f" + repr(self) + "\x1e"
+            object.__setattr__(self, "_digest_prefix", cached)
+        return cached
 
     def body_variables(self) -> Set[Variable]:
         return {v for atom in self.body for v in atom.variables()}
@@ -130,12 +165,16 @@ class TGD:
         return self._hash
 
     def __repr__(self) -> str:
-        body = ", ".join(repr(a) for a in self.body)
-        existential = sorted(self._existential, key=lambda v: v.name)
-        prefix = ""
-        if existential:
-            prefix = "∃" + ",".join(v.name for v in existential) + " "
-        return f"{body} -> {prefix}{self.head!r}"
+        cached = self._repr
+        if cached is None:
+            body = ", ".join(repr(a) for a in self.body)
+            existential = sorted(self._existential, key=lambda v: v.name)
+            prefix = ""
+            if existential:
+                prefix = "∃" + ",".join(v.name for v in existential) + " "
+            cached = f"{body} -> {prefix}{self.head!r}"
+            object.__setattr__(self, "_repr", cached)
+        return cached
 
 
 class MultiHeadTGD:
@@ -145,7 +184,7 @@ class MultiHeadTGD:
     fails beyond single-head TGDs.
     """
 
-    __slots__ = ("body", "head", "name", "_frontier", "_existential")
+    __slots__ = ("body", "head", "name", "_frontier", "_existential", "_repr", "_digest_prefix")
 
     def __init__(self, body: Iterable[Atom], head: Iterable[Atom], name: Optional[str] = None):
         body = tuple(body)
@@ -162,6 +201,8 @@ class MultiHeadTGD:
         object.__setattr__(self, "name", name or "mh")
         object.__setattr__(self, "_frontier", frozenset(body_vars & head_vars))
         object.__setattr__(self, "_existential", frozenset(head_vars - body_vars))
+        object.__setattr__(self, "_repr", None)
+        object.__setattr__(self, "_digest_prefix", None)
 
     def __setattr__(self, name, value):
         raise AttributeError("MultiHeadTGD is immutable")
@@ -179,6 +220,14 @@ class MultiHeadTGD:
     def existential_variables(self) -> FrozenSet[Variable]:
         return self._existential
 
+    def digest_prefix(self) -> str:
+        """``name \\x1e repr \\x1e`` — the TGD part of result digests, cached."""
+        cached = self._digest_prefix
+        if cached is None:
+            cached = self.name + "\x1e" + repr(self) + "\x1e"
+            object.__setattr__(self, "_digest_prefix", cached)
+        return cached
+
     def schema(self) -> Schema:
         return Schema.from_atoms(list(self.body) + list(self.head))
 
@@ -193,9 +242,13 @@ class MultiHeadTGD:
         return hash((self.body, self.head))
 
     def __repr__(self) -> str:
-        body = ", ".join(repr(a) for a in self.body)
-        head = ", ".join(repr(a) for a in self.head)
-        return f"{body} -> {head}"
+        cached = self._repr
+        if cached is None:
+            body = ", ".join(repr(a) for a in self.body)
+            head = ", ".join(repr(a) for a in self.head)
+            cached = f"{body} -> {head}"
+            object.__setattr__(self, "_repr", cached)
+        return cached
 
 
 def parse_tgds(texts: Iterable[str]) -> List[TGD]:
