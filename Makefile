@@ -1,16 +1,39 @@
 PYTHON ?= python
-export PYTHONPATH := src
 
-.PHONY: test bench bench-quick bench-exhibits
+# Put src first on PYTHONPATH, composing with (not clobbering) whatever the
+# caller already set — in the environment or on the make command line
+# (`override` is what keeps a command-line value from defeating the
+# composition).
+ifeq ($(origin PYTHONPATH), undefined)
+export PYTHONPATH := src
+else
+export override PYTHONPATH := src:$(PYTHONPATH)
+endif
+
+.PHONY: test lint bench bench-quick bench-gate bench-exhibits
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# Ruff (config in pyproject.toml).  The offline dev container does not ship
+# ruff; skip with a note there instead of failing — CI installs it and gets
+# the real check.
+lint:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check .; \
+	else \
+		echo "ruff not installed; skipping lint (CI runs it)"; \
+	fi
 
 bench:
 	$(PYTHON) benchmarks/harness.py
 
 bench-quick:
 	$(PYTHON) benchmarks/harness.py --quick
+
+# Gate on the trajectory the harness wrote (see docs/CI.md for the knobs).
+bench-gate:
+	$(PYTHON) benchmarks/check_regression.py
 
 # The per-exhibit pytest-benchmark suites (X1-X12 + ablations).
 bench-exhibits:

@@ -1,0 +1,143 @@
+"""CI gate on the bench trajectory recorded in ``BENCH_chase.json``.
+
+Reads the report ``benchmarks/harness.py`` wrote and fails (exit 1) when
+the perf floors regress:
+
+* every indexed-engine workload must hold ≥ ``threshold`` (5×) over its
+  naive baseline at the largest measured size;
+* the semi-naive mode must hold ≥ ``seminaive_threshold`` (2×) over the
+  step-at-a-time engine at its largest measured size;
+* every engine pair must have produced identical instances — an
+  equivalence failure is never skippable.
+
+Skipping on noisy runners
+-------------------------
+
+Shared CI runners can be noisy enough to flake a wall-clock gate.  Two
+knobs, both documented in ``docs/CI.md``:
+
+* ``BENCH_GATE_SKIP=1`` (or ``--skip``) — validate the report's shape and
+  the instance-equivalence bits, but only *warn* about speedup misses;
+* ``BENCH_GATE_MARGIN=0.8`` (or ``--margin 0.8``) — scale the thresholds,
+  e.g. accept 4×/1.6× on a runner known to wobble by 20%.
+
+Usage::
+
+    python benchmarks/check_regression.py [--report BENCH_chase.json]
+                                          [--skip] [--margin 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def gate(report: dict, margin: float) -> list:
+    """All speedup/equivalence violations in the report, as messages.
+
+    Equivalence violations are prefixed ``"equivalence:"`` — callers must
+    treat those as fatal even in skip mode.
+    """
+    failures = []
+    threshold = report["acceptance"]["threshold"] * margin
+    seminaive_threshold = report["acceptance"].get("seminaive_threshold", 2.0) * margin
+
+    by_workload: dict = {}
+    for row in report.get("speedups", []):
+        by_workload.setdefault(row["workload"], []).append(row)
+    for workload, rows in by_workload.items():
+        largest = max(row["size"] for row in rows)
+        for row in rows:
+            if not row["identical_instances"]:
+                failures.append(
+                    f"equivalence: {workload} n={row['size']}: indexed and naive "
+                    f"instances differ"
+                )
+            if row["size"] == largest and row["speedup"] < threshold:
+                failures.append(
+                    f"{workload} n={row['size']}: indexed speedup "
+                    f"{row['speedup']}x below the {threshold}x floor"
+                )
+
+    seminaive_rows = report.get("seminaive_speedups", [])
+    if not seminaive_rows:
+        failures.append("equivalence: report has no seminaive_speedups section")
+    else:
+        largest = max(row["size"] for row in seminaive_rows)
+        for row in seminaive_rows:
+            if not row["identical_instances"]:
+                failures.append(
+                    f"equivalence: seminaive_dense n={row['size']}: semi-naive and "
+                    f"step-at-a-time instances differ"
+                )
+            if not row.get("identical_derivations", True):
+                failures.append(
+                    f"equivalence: seminaive_dense n={row['size']}: instances match "
+                    f"but the derivations differ"
+                )
+            if row["size"] == largest and row["speedup"] < seminaive_threshold:
+                failures.append(
+                    f"seminaive_dense n={row['size']}: semi-naive speedup "
+                    f"{row['speedup']}x below the {seminaive_threshold}x floor"
+                )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--report",
+        default=str(Path(__file__).resolve().parents[1] / "BENCH_chase.json"),
+        help="path to the harness report (default: repo-root BENCH_chase.json)",
+    )
+    parser.add_argument(
+        "--skip",
+        action="store_true",
+        help="warn instead of failing on speedup misses (noisy runners); "
+        "equivalent to BENCH_GATE_SKIP=1",
+    )
+    parser.add_argument(
+        "--margin",
+        type=float,
+        default=float(os.environ.get("BENCH_GATE_MARGIN", "1.0")),
+        help="scale factor on both thresholds (default 1.0; "
+        "BENCH_GATE_MARGIN env var)",
+    )
+    args = parser.parse_args(argv)
+    skip = args.skip or os.environ.get("BENCH_GATE_SKIP", "") not in ("", "0")
+
+    path = Path(args.report)
+    if not path.exists():
+        print(f"check_regression: no report at {path}; run `make bench-quick` first")
+        return 1
+    report = json.loads(path.read_text())
+
+    failures = gate(report, args.margin)
+    equivalence = [f for f in failures if f.startswith("equivalence:")]
+    perf = [f for f in failures if not f.startswith("equivalence:")]
+
+    for failure in failures:
+        print(f"check_regression: {failure}")
+    if equivalence:
+        print("check_regression: FAIL (equivalence violations are never skippable)")
+        return 1
+    if perf and not skip:
+        print("check_regression: FAIL")
+        return 1
+    if perf:
+        print("check_regression: speedup misses ignored (skip knob set)")
+    print(
+        "check_regression: PASS — indexed >= "
+        f"{report['acceptance']['threshold']}x, semi-naive >= "
+        f"{report['acceptance'].get('seminaive_threshold', 2.0)}x, "
+        "instances identical"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

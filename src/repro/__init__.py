@@ -48,8 +48,15 @@ from repro.chase.restricted import (
     all_derivations_terminate,
     exists_derivation_of_length,
     restricted_chase,
+    seminaive_chase,
 )
-from repro.chase.trigger import Trigger, active_triggers_on, is_active, triggers_on
+from repro.chase.trigger import (
+    Trigger,
+    active_triggers_on,
+    is_active,
+    seminaive_triggers,
+    triggers_on,
+)
 from repro.guarded.abstract_join_tree import AbstractJoinTree, ajt_from_derivation
 from repro.guarded.chaseable import (
     ChaseGraph,
@@ -93,7 +100,9 @@ __all__ = [
     "terminating_certificate",
     # chase
     "Trigger", "triggers_on", "active_triggers_on", "is_active",
-    "restricted_chase", "ChaseResult", "exists_derivation_of_length",
+    "seminaive_triggers",
+    "restricted_chase", "seminaive_chase", "ChaseResult",
+    "exists_derivation_of_length",
     "all_derivations_terminate", "SearchBudgetExceeded",
     "oblivious_chase", "ObliviousResult", "satisfies_all",
     "skolem_chase", "SkolemResult", "SkolemTerm",

@@ -24,6 +24,17 @@ module owns the fast implementations of all three:
   triggers the new atom enables; it returns an :class:`ApplyToken` that
   ``undo`` can revert, which is what lets the derivation DFS explore
   alternative orderings without deep-copying the instance or its indexes.
+
+* :meth:`ChaseEngine.run_round` — the *semi-naive, set-at-a-time* evaluation
+  mode: instead of popping one trigger per step, a round drains the whole
+  pending batch, applies the still-active triggers in batch order, collects
+  the added atoms as the instance's tracked delta
+  (:meth:`repro.core.instance.Instance.track_delta`), and runs one batched
+  discovery pass (:func:`repro.chase.trigger.seminaive_triggers`) against
+  the delta's per-round index snapshot.  Discovery results are enqueued in
+  ``(birth, canonical)`` order, which replays the step-at-a-time engine's
+  enqueue order exactly — round-based and step-based runs produce
+  byte-identical instances, verdicts, and derivations.
 """
 
 from __future__ import annotations
@@ -34,7 +45,13 @@ from repro.core.atoms import Atom
 from repro.core.homomorphism import match_atom
 from repro.core.instance import Instance
 from repro.core.terms import Term
-from repro.chase.trigger import Trigger, new_triggers, satisfies_head, triggers_on
+from repro.chase.trigger import (
+    Trigger,
+    new_triggers,
+    satisfies_head,
+    seminaive_triggers,
+    triggers_on,
+)
 from repro.tgds.tgd import TGD
 
 
@@ -126,6 +143,32 @@ class ApplyToken:
         self.discovered = discovered
 
 
+class RoundResult:
+    """What one semi-naive :meth:`ChaseEngine.run_round` did."""
+
+    __slots__ = ("applied", "delta", "discovered", "cut")
+
+    def __init__(self, applied, delta, discovered, cut):
+        #: Triggers applied this round, in application order.  With the
+        #: witness cache enabled these are exactly the still-active batch
+        #: triggers; without it, every processed batch trigger.
+        self.applied = applied
+        #: Atoms the round added, in insertion order (the next round's seed).
+        self.delta = delta
+        #: Triggers the round's batched discovery enqueued, in enqueue order.
+        self.discovered = discovered
+        #: True iff a budget stopped the round early (tail re-queued,
+        #: discovery skipped — the caller is expected to abort the run).
+        self.cut = cut
+
+    def __repr__(self) -> str:
+        state = "cut" if self.cut else "complete"
+        return (
+            f"RoundResult({state}: {len(self.applied)} applied, "
+            f"{len(self.delta)} new atoms, {len(self.discovered)} discovered)"
+        )
+
+
 class ChaseEngine:
     """Instance + head-witness cache + deduplicated trigger worklist.
 
@@ -149,15 +192,20 @@ class ChaseEngine:
         )
         self._seen: Set[tuple] = set()
         self.pending: List[Trigger] = []
+        #: Set once a run_round budget cut discards a delta; see run_round.
+        self._cut = False
         self._enqueue(triggers_on(self.tgds, self.instance))
 
     # -- worklist ----------------------------------------------------------
 
-    def _enqueue(self, triggers: Iterable[Trigger]) -> List[Trigger]:
-        batch = sorted(
-            (t for t in triggers if t.key not in self._seen),
-            key=lambda t: t.canonical_key,
-        )
+    def _enqueue(self, triggers: Iterable[Trigger], presorted: bool = False) -> List[Trigger]:
+        if presorted:
+            batch = [t for t in triggers if t.key not in self._seen]
+        else:
+            batch = sorted(
+                (t for t in triggers if t.key not in self._seen),
+                key=lambda t: t.canonical_key,
+            )
         for trigger in batch:
             self._seen.add(trigger.key)
         self.pending.extend(batch)
@@ -202,6 +250,73 @@ class ChaseEngine:
                 witness_entries = self.witnesses.note(atom)
             discovered = self._enqueue(new_triggers(self.tgds, self.instance, [atom]))
         return ApplyToken(trigger, atom, added, witness_entries, discovered)
+
+    # -- semi-naive rounds -------------------------------------------------
+
+    def run_round(
+        self,
+        max_applications: Optional[int] = None,
+        max_atoms: Optional[int] = None,
+    ) -> RoundResult:
+        """One set-at-a-time chase round over the whole pending batch.
+
+        Drains the worklist, then (1) walks the batch in its enqueue order,
+        re-checking each trigger's activity against the head-witness cache
+        *at application time* (earlier applications of the same round may
+        deactivate later batch members) and applying the still-active ones;
+        with the cache disabled (oblivious mode) every batch trigger is
+        applied and set semantics deduplicates.  (2) The atoms the round
+        added are collected as the instance's tracked delta, and (3) one
+        batched semi-naive discovery pass (:func:`seminaive_triggers`)
+        enqueues the next round's triggers in ``(birth, canonical)`` order —
+        the exact order the per-application discovery of the step-at-a-time
+        engine would have produced, which keeps round-based runs
+        byte-identical to step-at-a-time runs.
+
+        ``max_applications`` bounds the number of applications this round
+        (for the caller's global step budget); ``max_atoms`` aborts once the
+        instance outgrows the bound.  A budget violation re-queues the
+        unprocessed tail in order, skips discovery, and sets ``cut`` — the
+        cut round's delta is *discarded*, so the run cannot be resumed:
+        every caller must abort on ``cut``, and a further ``run_round``
+        call raises rather than silently losing the undiscovered triggers.
+        """
+        if self._cut:
+            raise RuntimeError(
+                "run_round after a budget cut: the cut round's delta was "
+                "discarded, so resuming would miss its triggers — abort the "
+                "run (or rebuild the engine) instead"
+            )
+        batch = self.take_pending()
+        applied: List[Trigger] = []
+        cut = False
+        self.instance.track_delta()
+        witnesses = self.witnesses
+        for index, trigger in enumerate(batch):
+            if max_applications is not None and len(applied) >= max_applications:
+                self.pending = batch[index:] + self.pending
+                cut = True
+                break
+            if witnesses is not None and witnesses.witnessed(trigger):
+                continue
+            atom = trigger.result()
+            if self.instance.add(atom) and witnesses is not None:
+                witnesses.note(atom)
+            applied.append(trigger)
+            if max_atoms is not None and len(self.instance) > max_atoms:
+                self.pending = batch[index + 1:] + self.pending
+                cut = True
+                break
+        delta = self.instance.take_delta()
+        discovered: List[Trigger] = []
+        if cut:
+            self._cut = True
+        elif delta:
+            discovered = self._enqueue(
+                seminaive_triggers(self.tgds, self.instance, delta),
+                presorted=True,
+            )
+        return RoundResult(applied, delta.atoms(), discovered, cut)
 
     def undo(self, token: ApplyToken) -> None:
         """Revert one :meth:`apply` (strict LIFO discipline).

@@ -146,10 +146,15 @@ def multihead_restricted_chase(
     """Restricted chase with multi-head TGDs.
 
     ``strategy`` is ``"fifo"`` (first active trigger in deterministic
-    order), ``"lifo"`` (last), ``"random"``, or an integer ``k`` meaning
-    "always pick the active trigger whose TGD has index k, else the first"
-    — the knob Example B.1 needs to force unfair behavior.
+    order), ``"lifo"`` (last), ``"random"``, ``"semi_naive"`` (set-at-a-time
+    rounds: one active-trigger enumeration per round, every member applied
+    in canonical order with an activity re-check at application time — a
+    fair strategy by construction), or an integer ``k`` meaning "always
+    pick the active trigger whose TGD has index k, else the first" — the
+    knob Example B.1 needs to force unfair behavior.
     """
+    if strategy == "semi_naive":
+        return _seminaive_multihead_chase(database, tgds, max_steps)
     rng = random.Random(seed)
     instance = Instance(database.atoms())
     applied: List[MultiHeadTrigger] = []
@@ -174,6 +179,39 @@ def multihead_restricted_chase(
         for atom in trigger.results():
             instance.add(atom)
         applied.append(trigger)
+    return MultiHeadChaseResult(instance, applied, terminated=False)
+
+
+def _seminaive_multihead_chase(
+    database: Instance,
+    tgds: Sequence[MultiHeadTGD],
+    max_steps: int,
+) -> MultiHeadChaseResult:
+    """Set-at-a-time rounds for multi-head TGDs.
+
+    Multi-head activity has no witness cache yet (conjunctive head
+    witnesses are an open ROADMAP item), so the win here is amortization:
+    one full active-trigger enumeration per *round* instead of per step.
+    Each round's snapshot is applied in canonical order, re-checking
+    activity before every application because earlier applications of the
+    round may witness later members' heads.  Every active trigger is
+    applied or deactivated each round, so the run is fair.
+    """
+    instance = Instance(database.atoms())
+    applied: List[MultiHeadTrigger] = []
+    tgd_list = list(tgds)
+    while len(applied) < max_steps:
+        candidates = active_multihead_triggers_on(tgd_list, instance)
+        if not candidates:
+            return MultiHeadChaseResult(instance, applied, terminated=True)
+        for trigger in candidates:
+            if len(applied) >= max_steps:
+                return MultiHeadChaseResult(instance, applied, terminated=False)
+            if not is_active_multihead(trigger, instance):
+                continue
+            for atom in trigger.results():
+                instance.add(atom)
+            applied.append(trigger)
     return MultiHeadChaseResult(instance, applied, terminated=False)
 
 

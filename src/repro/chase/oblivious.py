@@ -44,16 +44,37 @@ def oblivious_chase(
     tgds: Sequence[TGD],
     max_atoms: int = 100_000,
     max_rounds: int = 10_000,
+    strategy: str = "semi_naive",
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
     Applies every trigger (active or not); set semantics deduplicates
     results.  A round applies the triggers discovered from the atoms of
     the previous round (the engine's pending batch).
+
+    ``strategy`` selects how a round is evaluated — the fixpoint is
+    order-independent, so both produce identical results round for round:
+
+    * ``"semi_naive"`` (default) — :meth:`ChaseEngine.run_round`: one
+      batched discovery pass per round against the round's delta;
+    * ``"per_trigger"`` — the pre-batching loop: one discovery pass per
+      applied trigger (kept as the ablation baseline).
     """
     engine = ChaseEngine(database, tgds, track_witnesses=False)
     applications = 0
     rounds = 0
+    if strategy == "semi_naive":
+        while engine.pending:
+            if rounds >= max_rounds or len(engine.instance) > max_atoms:
+                return ObliviousResult(engine.instance, False, rounds, applications)
+            rounds += 1
+            round_result = engine.run_round(max_atoms=max_atoms)
+            applications += len(round_result.delta)
+            if round_result.cut:
+                return ObliviousResult(engine.instance, False, rounds, applications)
+        return ObliviousResult(engine.instance, True, rounds, applications)
+    if strategy != "per_trigger":
+        raise ValueError(f"unknown oblivious strategy {strategy!r}")
     while engine.pending:
         if rounds >= max_rounds or len(engine.instance) > max_atoms:
             return ObliviousResult(engine.instance, False, rounds, applications)

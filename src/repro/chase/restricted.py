@@ -11,6 +11,12 @@ Strategies:
 * ``fifo``   — oldest discovered trigger first (level-ish, fair-biased);
 * ``lifo``   — newest first (depth-first, divergence-biased);
 * ``random`` — uniformly random among pending, seeded;
+* ``semi_naive`` — set-at-a-time rounds on :meth:`ChaseEngine.run_round`:
+  each round applies the whole pending batch and discovers the next batch
+  in one semi-naive pass over the round's delta.  Produces byte-identical
+  results to ``fifo`` (same instance, same derivation, same verdict) while
+  paying discovery once per round instead of once per application — the
+  preferred mode for the deciders' many independent chases;
 * a callable ``(pending: list[Trigger], instance) -> index`` for custom
   orders (the caterpillar replayer uses this).
 
@@ -86,6 +92,8 @@ def restricted_chase(
     ``max_steps`` applications happened with active triggers remaining
     (the derivation is then a proper prefix).
     """
+    if strategy == "semi_naive":
+        return seminaive_chase(database, tgds, max_steps=max_steps)
     choose = _resolve_strategy(strategy, seed)
     engine = ChaseEngine(database, tgds)
     derivation = Derivation(engine.instance)
@@ -100,6 +108,34 @@ def restricted_chase(
         engine.apply(trigger)
         derivation.append(trigger)
         steps += 1
+    return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
+
+
+def seminaive_chase(
+    database: Instance,
+    tgds: Sequence[TGD],
+    max_steps: int = 10_000,
+) -> ChaseResult:
+    """The set-at-a-time restricted chase (``strategy="semi_naive"``).
+
+    Round-based semi-naive evaluation on :meth:`ChaseEngine.run_round`:
+    each round applies every still-active trigger of the pending batch in
+    batch order and discovers the next batch with one delta-restricted
+    matching pass.  The result — instance, derivation, verdict, step count
+    — is byte-identical to ``restricted_chase(..., strategy="fifo")``; see
+    the round lifecycle notes in ``docs/ARCHITECTURE.md`` for why the
+    orders coincide.
+    """
+    engine = ChaseEngine(database, tgds)
+    derivation = Derivation(engine.instance)
+    steps = 0
+    while engine.pending:
+        round_result = engine.run_round(max_applications=max_steps - steps)
+        for trigger in round_result.applied:
+            derivation.append(trigger)
+        steps += len(round_result.applied)
+        if round_result.cut:
+            return ChaseResult(engine.instance, derivation, terminated=False, steps=steps)
     return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
 
 

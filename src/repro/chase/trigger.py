@@ -211,3 +211,60 @@ def new_triggers(
                     if trigger.key not in seen:
                         seen.add(trigger.key)
                         yield trigger
+
+
+def seminaive_triggers(
+    tgds: Iterable[TGD], instance: Instance, delta
+) -> List[Trigger]:
+    """Set-at-a-time trigger discovery against a round delta.
+
+    The batched counterpart of per-atom :func:`new_triggers`: ``delta`` is a
+    :class:`repro.core.instance.Delta` (the atoms one round added, already
+    committed to ``instance``).  Each TGD body is rewritten semi-naively —
+    one body atom (the pivot) is bound to a delta atom through the delta's
+    per-predicate snapshot, the rest match against the full term-position
+    indexes — so a round pays one pass over ``tgds × pivots`` with empty
+    predicate buckets skipped wholesale, instead of one full pass per added
+    atom.
+
+    The returned list is ordered by ``(birth, canonical_key)`` where
+    ``birth`` is the delta position of the *latest* body-image atom drawn
+    from the delta.  That is exactly the order in which the step-at-a-time
+    engine enqueues the same triggers (a trigger surfaces at the application
+    that completes its body image, and each per-application batch is
+    canonically sorted), which is what keeps round-based runs byte-identical
+    to step-at-a-time runs.
+    """
+    if not delta:
+        return []
+    births: Dict[tuple, int] = {}
+    found: Dict[tuple, Trigger] = {}
+    for tgd in tgds:
+        for pivot_index, pivot in enumerate(tgd.body):
+            bucket = delta.with_predicate(pivot.predicate)
+            if not bucket:
+                continue
+            rest = [a for i, a in enumerate(tgd.body) if i != pivot_index]
+            for pivot_atom in bucket:
+                base = match_atom(pivot, pivot_atom)
+                if base is None:
+                    continue
+                birth = delta.position(pivot_atom)
+                if rest:
+                    matches = homomorphisms(rest, instance, partial=base)
+                else:
+                    # Single-atom body: the pivot binding is the whole
+                    # homomorphism — skip the join machinery.
+                    matches = (base,)
+                for h in matches:
+                    trigger = Trigger(tgd, h)
+                    key = trigger.key
+                    previous = births.get(key)
+                    if previous is None:
+                        found[key] = trigger
+                        births[key] = birth
+                    elif birth > previous:
+                        births[key] = birth
+    return sorted(
+        found.values(), key=lambda t: (births[t.key], t.canonical_key)
+    )

@@ -27,7 +27,13 @@ from repro.core.atoms import Atom
 from repro.core.instance import Instance
 from repro.chase.derivation import Derivation
 from repro.chase.engine import HeadWitnessIndex
-from repro.chase.trigger import Trigger, is_active, new_triggers, triggers_on
+from repro.chase.trigger import (
+    Trigger,
+    is_active,
+    new_triggers,
+    seminaive_triggers,
+    triggers_on,
+)
 from repro.core.homomorphism import is_homomorphism
 from repro.tgds.guardedness import guard_of
 from repro.tgds.tgd import TGD
@@ -78,11 +84,22 @@ class WeaklyRestrictedChase:
         self,
         roots: Iterable[Tuple[Atom, int]],
         tgds: Sequence[TGD],
+        strategy: str = "semi_naive",
     ):
         """``roots``: (atom, depth) pairs — the multiset database ``D_ac``
 
         with the ``depth`` labels of the treeification construction (use 0
-        when depths are irrelevant)."""
+        when depths are irrelevant).
+
+        ``strategy`` selects the per-round trigger discovery:
+        ``"semi_naive"`` (default) matches bodies against the round's delta
+        snapshot (:func:`seminaive_triggers`); ``"per_atom"`` is the
+        pre-batching pass (:func:`new_triggers`).  Both discover the same
+        trigger set — active-trigger selection sorts canonically either
+        way, so runs are identical."""
+        if strategy not in ("semi_naive", "per_atom"):
+            raise ValueError(f"unknown discovery strategy {strategy!r}")
+        self.strategy = strategy
         self.tgds = tuple(tgds)
         self.occurrences: List[WROccurrence] = []
         self._applied: Set[tuple] = set()
@@ -155,15 +172,21 @@ class WeaklyRestrictedChase:
         return False
 
     def _commit(self, new_occurrences: List[WROccurrence]) -> None:
-        new_atoms: List[Atom] = []
+        delta = self._atom_view.track_delta()
         for occ in new_occurrences:
             self.occurrences.append(occ)
             self._occ_ids_by_atom.setdefault(occ.atom, []).append(occ.occ_id)
             if self._atom_view.add(occ.atom):
                 self._witnesses.note(occ.atom)
-                new_atoms.append(occ.atom)
-        if new_atoms:
-            for trigger in new_triggers(self.tgds, self._atom_view, new_atoms):
+        self._atom_view.take_delta()
+        if delta:
+            if self.strategy == "semi_naive":
+                found: Iterable[Trigger] = seminaive_triggers(
+                    self.tgds, self._atom_view, delta
+                )
+            else:
+                found = new_triggers(self.tgds, self._atom_view, delta.atoms())
+            for trigger in found:
                 self._triggers.setdefault(trigger.key, trigger)
 
     def anchor_descendants(self, occ_id: int) -> Set[int]:

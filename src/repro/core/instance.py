@@ -35,6 +35,82 @@ from repro.core.terms import Constant, Null, Term
 _EMPTY: Dict = {}
 
 
+class Delta:
+    """An insertion-ordered record of the atoms added during one chase round.
+
+    The semi-naive engines (:meth:`repro.chase.engine.ChaseEngine.run_round`)
+    ask the instance to *track* additions for the duration of a round, then
+    take the delta and match TGD bodies against it: at least one body atom
+    must be bound to a delta atom for a trigger to be new — the classic
+    semi-naive rewriting.  The delta therefore keeps its own per-round index
+    snapshot: a per-predicate bucket over just the round's atoms, far
+    smaller than the instance-wide buckets.
+
+    Each atom carries its *birth position* (a monotone insertion counter).
+    Round-based discovery uses it to reconstruct the exact step-at-a-time
+    enqueue order: a trigger becomes discoverable at the moment its last
+    body-image atom is added, so ordering a round's discoveries by
+    ``(max birth position of the image's delta atoms, canonical key)``
+    replays the per-application FIFO batches byte for byte.
+    """
+
+    __slots__ = ("_positions", "_by_predicate", "_counter")
+
+    def __init__(self):
+        self._positions: Dict[Atom, int] = {}
+        self._by_predicate: Dict[str, Dict[Atom, None]] = {}
+        self._counter = 0
+
+    def record(self, atom: Atom) -> None:
+        """Note one freshly added atom (called by ``Instance.add``)."""
+        if atom in self._positions:
+            return
+        self._positions[atom] = self._counter
+        self._counter += 1
+        self._by_predicate.setdefault(atom.predicate, {})[atom] = None
+
+    def remove(self, atom: Atom) -> None:
+        """Forget a recorded atom (mirrors ``Instance.discard``)."""
+        if self._positions.pop(atom, None) is None:
+            return
+        bucket = self._by_predicate.get(atom.predicate)
+        if bucket is not None:
+            bucket.pop(atom, None)
+            if not bucket:
+                del self._by_predicate[atom.predicate]
+
+    def position(self, atom: Atom) -> int:
+        """The atom's birth position within the round (insertion counter)."""
+        return self._positions[atom]
+
+    def atoms(self) -> list:
+        """The recorded atoms in insertion order."""
+        return list(self._positions)
+
+    def with_predicate(self, predicate: str) -> KeysView:
+        """The round's atoms under ``predicate`` (a set-like view)."""
+        return self._by_predicate.get(predicate, _EMPTY).keys()
+
+    def predicates(self) -> KeysView:
+        return self._by_predicate.keys()
+
+    def __contains__(self, atom: Atom) -> bool:
+        return atom in self._positions
+
+    def __iter__(self) -> Iterator[Atom]:
+        return iter(self._positions)
+
+    def __len__(self) -> int:
+        return len(self._positions)
+
+    def __bool__(self) -> bool:
+        return bool(self._positions)
+
+    def __repr__(self) -> str:
+        atoms = ", ".join(repr(a) for a in self._positions)
+        return f"Delta([{atoms}])"
+
+
 class Instance:
     """A mutable set of ground atoms with predicate and term-position indexes.
 
@@ -48,9 +124,30 @@ class Instance:
         self._atoms: Dict[Atom, None] = {}
         self._by_predicate: Dict[str, Dict[Atom, None]] = {}
         self._by_position: Dict[Tuple[str, int, Term], Dict[Atom, None]] = {}
+        self._delta: Optional[Delta] = None
         if atoms is not None:
             for atom in atoms:
                 self.add(atom)
+
+    # -- round-delta tracking (semi-naive evaluation) ----------------------
+
+    def track_delta(self) -> Delta:
+        """Start recording additions into a fresh :class:`Delta`.
+
+        Any previous tracking is replaced.  ``add`` records each genuinely
+        new atom; ``discard`` removes it again.  The semi-naive engines call
+        this at the start of a round and :meth:`take_delta` at its end.
+        """
+        self._delta = Delta()
+        return self._delta
+
+    def take_delta(self) -> Delta:
+        """Stop tracking and return the recorded delta."""
+        if self._delta is None:
+            raise RuntimeError("take_delta() without a preceding track_delta()")
+        delta = self._delta
+        self._delta = None
+        return delta
 
     def add(self, atom: Atom) -> bool:
         """Insert ``atom``; returns True iff it was not already present."""
@@ -66,6 +163,8 @@ class Instance:
         predicate = atom.predicate
         for i, term in enumerate(atom.terms, start=1):
             by_position.setdefault((predicate, i, term), {})[atom] = None
+        if self._delta is not None:
+            self._delta.record(atom)
         return True
 
     def update(self, atoms: Iterable[Atom]) -> int:
@@ -91,6 +190,8 @@ class Instance:
                 position_bucket.pop(atom, None)
                 if not position_bucket:
                     del by_position[key]
+        if self._delta is not None:
+            self._delta.remove(atom)
         return True
 
     def with_predicate(self, predicate: str) -> KeysView:

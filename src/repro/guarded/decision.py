@@ -245,7 +245,9 @@ def decide_guarded(
     if extra_candidates:
         candidates.extend(extra_candidates)
     for database in candidates:
-        for strategy in ("lifo", "fifo"):
+        # semi_naive is byte-identical to fifo but pays trigger discovery
+        # once per round — the right mode for this many independent chases.
+        for strategy in ("lifo", "semi_naive"):
             run = restricted_chase(database, tgd_list, strategy=strategy, max_steps=max_steps)
             if run.terminated:
                 continue

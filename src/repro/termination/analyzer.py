@@ -102,7 +102,9 @@ class TerminationAnalyzer:
         from repro.chase.restricted import restricted_chase
 
         for database in candidate_databases(tgd_list):
-            for strategy in ("lifo", "fifo"):
+            # semi_naive ≡ fifo result-for-result; batched rounds amortize
+            # discovery across the corpus's many independent chases.
+            for strategy in ("lifo", "semi_naive"):
                 run = restricted_chase(
                     database, tgd_list, strategy=strategy, max_steps=self.guarded_max_steps
                 )

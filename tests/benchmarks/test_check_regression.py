@@ -1,0 +1,90 @@
+"""The bench regression gate must catch every way the trajectory can rot."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
+
+from check_regression import gate  # noqa: E402
+
+
+def make_report(
+    indexed_speedup=30.0,
+    seminaive_speedup=2.5,
+    identical=True,
+    seminaive_identical=True,
+):
+    return {
+        "acceptance": {"threshold": 5.0, "seminaive_threshold": 2.0},
+        "speedups": [
+            {
+                "workload": "ablation_engine",
+                "size": 8,
+                "speedup": 7.0,
+                "identical_instances": identical,
+            },
+            {
+                "workload": "ablation_engine",
+                "size": 64,
+                "speedup": indexed_speedup,
+                "identical_instances": identical,
+            },
+        ],
+        "seminaive_speedups": [
+            {
+                "workload": "seminaive_dense",
+                "size": 64,
+                "speedup": seminaive_speedup,
+                "identical_instances": seminaive_identical,
+                "identical_derivations": True,
+            }
+        ],
+    }
+
+
+def test_clean_report_passes():
+    assert gate(make_report(), margin=1.0) == []
+
+
+def test_indexed_regression_caught():
+    failures = gate(make_report(indexed_speedup=3.0), margin=1.0)
+    assert any("below the 5.0x floor" in f for f in failures)
+
+
+def test_small_sizes_not_gated():
+    # Only the largest size per workload is held to the floor: the n=8 row
+    # sits at 7x, below no floor that applies to it.
+    report = make_report()
+    report["speedups"][0]["speedup"] = 5.5
+    assert gate(report, margin=1.0) == []
+
+
+def test_seminaive_regression_caught():
+    failures = gate(make_report(seminaive_speedup=1.2), margin=1.0)
+    assert any("seminaive_dense" in f and "below" in f for f in failures)
+
+
+def test_equivalence_violation_is_flagged_as_such():
+    failures = gate(make_report(seminaive_identical=False), margin=1.0)
+    assert any(f.startswith("equivalence:") for f in failures)
+
+
+def test_derivation_mismatch_reported_distinctly():
+    report = make_report()
+    report["seminaive_speedups"][0]["identical_derivations"] = False
+    failures = gate(report, margin=1.0)
+    assert any("derivations differ" in f for f in failures)
+    assert not any("instances differ" in f for f in failures)
+
+
+def test_missing_seminaive_section_is_fatal():
+    report = make_report()
+    del report["seminaive_speedups"]
+    failures = gate(report, margin=1.0)
+    assert any(f.startswith("equivalence:") for f in failures)
+
+
+def test_margin_loosens_the_floor():
+    assert gate(make_report(indexed_speedup=4.5), margin=1.0)
+    assert gate(make_report(indexed_speedup=4.5), margin=0.8) == []
