@@ -1,0 +1,169 @@
+"""Parallel trigger discovery vs the serial semi-naive engine.
+
+The *join-heavy* workload: a copy rule feeds an ``n``-node pseudo-random
+digraph (fixed out-degree, deterministic edge formula — no RNG) into a
+derived predicate, and cycle-closing join rules (triangles and 4-cycles
+over the derived edges) make the next round's discovery pass the dominant
+cost: one wide delta whose ``(tgd, pivot)`` × bucket grid carries ~10^6
+index probes.  That is exactly the shape ``ParallelMatcher`` targets —
+applications stay serial and cheap, discovery fans out — so the measured
+ratio isolates the pool's contribution.
+
+The acceptance gate (enforced by ``harness.py`` / ``check_regression.py``):
+at n ≥ 64 with ``workers=4`` the parallel mode is ≥ 1.5× the serial
+semi-naive engine, with byte-identical instances and derivations.  The
+speedup floor is only *enforced* where it is physically measurable — on
+hosts with ≥ 4 CPUs (the report records ``cpu_count`` and ``workers`` per
+row precisely so the gate, and humans comparing trajectories, can tell a
+regression from a small machine); the equivalence bits are enforced
+everywhere, single-core included.
+
+Run under pytest-benchmark via ``make bench-exhibits``, or let
+``benchmarks/harness.py`` fold the workload into ``BENCH_chase.json``
+(``--workers`` selects the pool width; ``make bench WORKERS=N``).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import List
+
+if __package__ in (None, ""):  # allow direct imports when run by pytest/harness
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.chase.restricted import restricted_chase
+from repro.tgds.tgd import TGD, parse_tgds
+
+#: Out-degree of the pseudo-random digraph (edges per node).  At n=64 this
+#: puts ~92% of the serial run inside the one wide discovery pass (measured
+#: via a seminaive_triggers timing hook), so Amdahl leaves ≥2.5× on a
+#: 4-CPU host — margin over the 1.5× floor even on wobbly runners.
+DEGREE = 8
+
+#: Acceptance threshold: parallel over serial semi-naive, at the largest n.
+PARALLEL_SPEEDUP_THRESHOLD = 1.5
+
+#: Pool width the gate is defined at.
+GATE_WORKERS = 4
+
+#: The speedup floor is only enforceable where the hardware can actually
+#: run GATE_WORKERS-wide; below this CPU count the gate records the ratio
+#: but does not fail on it (equivalence is still enforced).
+GATE_MIN_CPUS = 4
+
+
+def parallel_tgds() -> List[TGD]:
+    """One copy rule plus two cycle-closing join rules over derived edges.
+
+    The joins only become discoverable when the copy round's delta lands,
+    which concentrates the workload's cost into a single wide semi-naive
+    discovery pass — the pass the pool parallelizes.
+    """
+    return parse_tgds(
+        [
+            "E(x,y) -> F(x,y)",
+            "F(x,y), F(y,z), F(z,x) -> T(x,y,z)",
+            "F(x,y), F(y,z), F(z,w), F(w,x) -> Q(x,y,z,w)",
+        ]
+    )
+
+
+def join_database(n: int, degree: int = DEGREE) -> Database:
+    """An ``n``-node digraph with ``degree`` deterministic out-edges per node.
+
+    The edge formula scatters targets without an RNG (runs must be
+    reproducible byte for byte); self-loops are skipped so cycle counts
+    stay join-driven rather than loop-driven.
+    """
+    atoms = []
+    for i in range(n):
+        for k in range(1, degree + 1):
+            j = (i * k + k * k + k) % n
+            if j != i:
+                atoms.append(Atom("E", [Constant(f"c{i}"), Constant(f"c{j}")]))
+    return Database(atoms)
+
+
+#: Parsed once: rule parsing is workload *construction*, not chase time.
+TGDS = parallel_tgds()
+
+
+def run_serial(database: Database, max_steps: int = 1_000_000):
+    return restricted_chase(database, TGDS, strategy="semi_naive", max_steps=max_steps)
+
+
+def run_parallel(
+    database: Database, workers: int = GATE_WORKERS, max_steps: int = 1_000_000
+):
+    return restricted_chase(
+        database,
+        TGDS,
+        strategy="semi_naive",
+        max_steps=max_steps,
+        workers=workers,
+    )
+
+
+def test_join_workload_byte_identical():
+    db = join_database(32)
+    serial = run_serial(db)
+    parallel = run_parallel(db, workers=2)
+    assert serial.terminated and parallel.terminated
+    assert serial.steps == parallel.steps
+    assert serial.instance.sorted_atoms() == parallel.instance.sorted_atoms()
+    assert [t.key for t in serial.derivation.steps] == [
+        t.key for t in parallel.derivation.steps
+    ]
+
+
+def test_bench_serial_seminaive(benchmark):
+    db = join_database(32)
+    result = benchmark(run_serial, db)
+    assert result.terminated
+
+
+def test_bench_parallel_discovery(benchmark):
+    db = join_database(32)
+    result = benchmark(run_parallel, db)
+    assert result.terminated
+
+
+def test_parallel_speedup_gate():
+    """The ≥1.5× acceptance gate at n ≥ 64 (best-of-2, like the harness).
+
+    Skips the *ratio* assertion (never the equivalence one) on hosts with
+    fewer than GATE_MIN_CPUS CPUs, where a 4-wide pool cannot physically
+    beat serial; ``check_regression.py`` applies the same rule to the
+    recorded report.
+    """
+    import time
+
+    db = join_database(64)
+
+    def best_of(fn, repeats=2):
+        best, result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = fn(db)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    serial_s, serial = best_of(run_serial)
+    parallel_s, parallel = best_of(lambda d: run_parallel(d, workers=GATE_WORKERS))
+    assert serial.instance == parallel.instance
+    assert [t.key for t in serial.derivation.steps] == [
+        t.key for t in parallel.derivation.steps
+    ]
+    speedup = serial_s / parallel_s
+    print(
+        f"\n[parallel_join n=64 workers={GATE_WORKERS}] serial {serial_s:.4f}s  "
+        f"parallel {parallel_s:.4f}s  {speedup:.2f}x  "
+        f"(cpus={os.cpu_count()})"
+    )
+    if (os.cpu_count() or 1) >= GATE_MIN_CPUS:
+        assert speedup >= PARALLEL_SPEEDUP_THRESHOLD

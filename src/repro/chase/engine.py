@@ -180,8 +180,25 @@ class ChaseEngine:
     ordering — no string sorts on the hot path.
     """
 
-    def __init__(self, database, tgds: Sequence[TGD], track_witnesses: bool = True):
+    def __init__(
+        self,
+        database,
+        tgds: Sequence[TGD],
+        track_witnesses: bool = True,
+        matcher=None,
+    ):
         self.tgds: Tuple[TGD, ...] = tuple(tgds)
+        #: Optional :class:`repro.chase.parallel.ParallelMatcher`; when set,
+        #: run_round's batched discovery fans out over its worker pool
+        #: (byte-identical results — see chase/parallel.py's merge argument).
+        #: The guard compares digest prefixes, not TGD equality: equality
+        #: ignores rule names while null invention depends on them, so a
+        #: renamed-but-equal matcher set would silently break byte-identity.
+        if matcher is not None and [t.digest_prefix() for t in matcher.tgds] != [
+            t.digest_prefix() for t in self.tgds
+        ]:
+            raise ValueError("matcher was built for a different TGD set")
+        self.matcher = matcher
         if isinstance(database, Instance):
             seed_atoms = database.sorted_atoms()
         else:
@@ -312,10 +329,11 @@ class ChaseEngine:
         if cut:
             self._cut = True
         elif delta:
-            discovered = self._enqueue(
-                seminaive_triggers(self.tgds, self.instance, delta),
-                presorted=True,
-            )
+            if self.matcher is not None:
+                batch = self.matcher.discover(self.instance, delta)
+            else:
+                batch = seminaive_triggers(self.tgds, self.instance, delta)
+            discovered = self._enqueue(batch, presorted=True)
         return RoundResult(applied, delta.atoms(), discovered, cut)
 
     def undo(self, token: ApplyToken) -> None:

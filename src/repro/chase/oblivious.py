@@ -45,6 +45,8 @@ def oblivious_chase(
     max_atoms: int = 100_000,
     max_rounds: int = 10_000,
     strategy: str = "semi_naive",
+    workers: int = 1,
+    parallel_backend: str = "process",
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
@@ -56,23 +58,39 @@ def oblivious_chase(
     order-independent, so both produce identical results round for round:
 
     * ``"semi_naive"`` (default) — :meth:`ChaseEngine.run_round`: one
-      batched discovery pass per round against the round's delta;
+      batched discovery pass per round against the round's delta; with
+      ``workers > 1`` that pass fans out over a
+      :class:`repro.chase.parallel.ParallelMatcher` pool (byte-identical
+      rounds — the merge replays the serial order);
     * ``"per_trigger"`` — the pre-batching loop: one discovery pass per
       applied trigger (kept as the ablation baseline).
     """
-    engine = ChaseEngine(database, tgds, track_witnesses=False)
+    matcher = None
+    if strategy == "semi_naive" and workers > 1:
+        from repro.chase.parallel import ParallelMatcher
+
+        matcher = ParallelMatcher(tgds, workers=workers, backend=parallel_backend)
+    engine = ChaseEngine(database, tgds, track_witnesses=False, matcher=matcher)
     applications = 0
     rounds = 0
     if strategy == "semi_naive":
-        while engine.pending:
-            if rounds >= max_rounds or len(engine.instance) > max_atoms:
-                return ObliviousResult(engine.instance, False, rounds, applications)
-            rounds += 1
-            round_result = engine.run_round(max_atoms=max_atoms)
-            applications += len(round_result.delta)
-            if round_result.cut:
-                return ObliviousResult(engine.instance, False, rounds, applications)
-        return ObliviousResult(engine.instance, True, rounds, applications)
+        try:
+            while engine.pending:
+                if rounds >= max_rounds or len(engine.instance) > max_atoms:
+                    return ObliviousResult(
+                        engine.instance, False, rounds, applications
+                    )
+                rounds += 1
+                round_result = engine.run_round(max_atoms=max_atoms)
+                applications += len(round_result.delta)
+                if round_result.cut:
+                    return ObliviousResult(
+                        engine.instance, False, rounds, applications
+                    )
+            return ObliviousResult(engine.instance, True, rounds, applications)
+        finally:
+            if matcher is not None:
+                matcher.close()
     if strategy != "per_trigger":
         raise ValueError(f"unknown oblivious strategy {strategy!r}")
     while engine.pending:

@@ -1,0 +1,365 @@
+"""Parallel trigger discovery over a process pool.
+
+Semi-naive trigger discovery (:func:`repro.chase.trigger.seminaive_triggers`)
+is embarrassingly parallel: the ``(tgd, pivot)`` × delta grid decomposes
+into independent match tasks whose only shared inputs — the TGD set, the
+instance's term-position indexes, and the round's delta — are read-only for
+the duration of a round.  :class:`ParallelMatcher` exploits that:
+
+* **Planning** — the grid is cut into chunk specs ``(tgd_index,
+  pivot_index, lo, hi)`` over each pivot's per-predicate delta bucket,
+  coalesced into tasks of roughly equal work (``~chunks_per_worker`` tasks
+  per worker).  Wide deltas are split across tasks; narrow ones share a
+  task — both directions keep every worker busy.
+
+* **Execution** — tasks run on a ``concurrent.futures``
+  ``ProcessPoolExecutor`` built from the ``fork`` start method: the pool is
+  created *per round*, after the round's ``(tgds, instance, delta)`` triple
+  is parked in a module global, so forked workers inherit the instance and
+  its indexes by memory snapshot instead of by pickling.  Only the
+  discovered triggers travel back (they pickle via ``Trigger.__reduce__``).
+  A threaded executor (shared memory, no pickling, persistent across
+  rounds) is the fallback wherever ``fork`` is unavailable or the pool
+  cannot start, and ``workers=1`` (or sub-threshold rounds) short-circuits
+  to the serial :func:`seminaive_triggers` — all three paths produce the
+  same list.
+
+* **Merging** — workers return ``(birth, trigger)`` pairs; the merge keeps
+  the *maximum* birth per :attr:`Trigger.key` (a trigger reachable through
+  several pivots surfaces, in the step engine, at the application completing
+  its body image) and sorts by ``(birth, canonical_key)``.  Because worker
+  results only ever join through this commutative max-merge and the final
+  sort is total, the merged list — and therefore the worklist order, the
+  instance, the verdict, and the derivation — is byte-identical to the
+  serial semi-naive engine, regardless of pool scheduling.
+
+The second parallel tier — the deciders' *independent chases* over
+divergence-suspect databases — uses :func:`parallel_map`: ordered fan-out
+of whole tasks over the same kind of pool, with the same thread/serial
+fallback ladder.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.instance import Instance
+from repro.chase.trigger import Trigger, match_pivot_bucket, seminaive_triggers
+from repro.tgds.tgd import TGD
+
+#: Errors that mean "the pool could not run", triggering the threaded
+#: fallback.  OSError covers fork/pipe/resource failures (including
+#: PermissionError on fork-restricted hosts); BrokenProcessPool covers
+#: workers dying before returning.
+_POOL_ERRORS = (OSError, BrokenProcessPool)
+
+#: Rounds whose total pivot-bucket work is below this run serially — the
+#: per-round pool cost only pays for itself on wide deltas.  Calibration:
+#: a fork-pool round costs ~10-50ms to start and drain while a pivot atom
+#: costs ~10-100µs to match, so break-even sits around a few hundred
+#: pivot atoms; below it, a many-small-round chase (hundreds of rounds,
+#: ~100 pivot atoms each) would pay pool churn per round for sub-ms of
+#: matching.  Tests pin it to 0 to force tiny rounds through the pool.
+DEFAULT_MIN_PARALLEL_WORK = 512
+
+#: Per-round state handed to forked workers by memory inheritance:
+#: ``(tgds, instance, delta)``.  Set immediately before the round's pool is
+#: created and cleared after it drains; fork snapshots it into each worker.
+#: ``_FORK_LOCK`` serializes the set-fork-drain window so two matchers
+#: discovering concurrently from different threads cannot fork each
+#: other's round state.
+_FORK_STATE: Optional[tuple] = None
+_FORK_LOCK = threading.Lock()
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _body_order(tgd: TGD, cache: Dict[TGD, tuple]) -> tuple:
+    """Body variables in name order — the wire ordering for compact rows.
+
+    ``cache`` is call-scoped (one dict per worker task / per merge), so
+    nothing outlives the round: a long-lived process analyzing many TGD
+    sets never accumulates stale entries.
+    """
+    order = cache.get(tgd)
+    if order is None:
+        order = cache[tgd] = tuple(
+            sorted(tgd.body_variables(), key=lambda v: v.name)
+        )
+    return order
+
+
+def _match_chunks(
+    tgds: Sequence[TGD], instance: Instance, delta, chunks
+) -> List[tuple]:
+    """Run one task's chunk specs; returns deduplicated compact rows.
+
+    The worker body, shared by every backend: each chunk binds one
+    ``(tgd, pivot)`` pair to a slice of the pivot predicate's delta bucket
+    and matches through :func:`match_pivot_bucket` — the exact code the
+    serial pass runs.  Bucket slices are recomputed from the delta (chunk
+    specs stay index-pairs, cheap to ship); per-predicate listing is cached
+    across the task's chunks.
+
+    Results travel as ``(tgd_index, values, birth)`` rows, where ``values``
+    is the trigger's body binding in :func:`_body_order` — triggers are
+    *not* pickled whole, since a join trigger rediscovered once per pivot
+    would ship once per pivot; rows dedupe worker-side and the master
+    rebuilds each unique trigger exactly once.
+    """
+    births: Dict[tuple, int] = {}
+    found: Dict[tuple, Trigger] = {}
+    buckets: Dict[str, list] = {}
+    for tgd_index, pivot_index, lo, hi in chunks:
+        tgd = tgds[tgd_index]
+        predicate = tgd.body[pivot_index].predicate
+        bucket = buckets.get(predicate)
+        if bucket is None:
+            bucket = buckets[predicate] = list(delta.with_predicate(predicate))
+        match_pivot_bucket(
+            tgd, pivot_index, bucket[lo:hi], delta, instance, births, found
+        )
+    # First-wins index map: TGD equality ignores the name, but null naming
+    # (digest_prefix) includes it, so duplicate-equal rules under different
+    # names must all resolve to the first index — exactly the trigger the
+    # serial pass's first-wins dedup keeps.
+    tgd_indexes: Dict[TGD, int] = {}
+    for index, tgd in enumerate(tgds):
+        tgd_indexes.setdefault(tgd, index)
+    orders: Dict[TGD, tuple] = {}
+    rows = []
+    for key, trigger in found.items():
+        values = tuple(trigger.h[v] for v in _body_order(trigger.tgd, orders))
+        rows.append((tgd_indexes[trigger.tgd], values, births[key]))
+    return rows
+
+
+def _discover_task(chunks) -> List[tuple]:
+    """Process-pool task entry point: reads the fork-inherited round state."""
+    tgds, instance, delta = _FORK_STATE
+    return _match_chunks(tgds, instance, delta, chunks)
+
+
+class ParallelMatcher:
+    """Fan semi-naive discovery batches out over a worker pool.
+
+    Drop-in replacement for the serial discovery pass: ``discover(instance,
+    delta)`` returns exactly ``seminaive_triggers(tgds, instance, delta)``,
+    computed by ``workers`` processes (or threads).  Plug one into
+    :class:`repro.chase.engine.ChaseEngine` (the ``matcher`` parameter) or
+    let ``restricted_chase(..., strategy="semi_naive", workers=N)`` build
+    one per run.
+
+    ``backend`` is ``"process"`` (default; requires the ``fork`` start
+    method, silently degrading to threads where it is missing),
+    ``"thread"``, or ``"serial"``.  A process-pool failure mid-run warns
+    once and pins the matcher to the threaded backend — results are
+    recomputed, never half-merged.
+    """
+
+    def __init__(
+        self,
+        tgds: Sequence[TGD],
+        workers: int = 1,
+        backend: str = "process",
+        min_parallel_work: Optional[int] = None,
+        chunks_per_worker: int = 4,
+    ):
+        if backend not in ("process", "thread", "serial"):
+            raise ValueError(f"unknown parallel backend {backend!r}")
+        self.tgds: Tuple[TGD, ...] = tuple(tgds)
+        self.workers = max(1, int(workers))
+        if self.workers == 1:
+            backend = "serial"
+        elif backend == "process" and not _fork_available():
+            backend = "thread"
+        self.backend = backend
+        # The module default is resolved here, at *construction*: retune it
+        # (or monkeypatch it, as the equivalence tests do) before the
+        # matcher is built — existing matchers keep their frozen threshold.
+        self.min_parallel_work = (
+            DEFAULT_MIN_PARALLEL_WORK if min_parallel_work is None else min_parallel_work
+        )
+        self.chunks_per_worker = max(1, chunks_per_worker)
+        self._thread_pool: Optional[ThreadPoolExecutor] = None
+        #: Observability counters (tests assert the pool actually ran).
+        self.rounds_parallel = 0
+        self.rounds_serial = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut down the persistent threaded pool (idempotent)."""
+        if self._thread_pool is not None:
+            self._thread_pool.shutdown(wait=True)
+            self._thread_pool = None
+
+    def __enter__(self) -> "ParallelMatcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- planning ----------------------------------------------------------
+
+    def _plan(self, delta) -> Tuple[List[list], int]:
+        """Cut the (tgd, pivot) × delta grid into balanced task lists.
+
+        Returns ``(tasks, total_work)`` where each task is a list of chunk
+        specs ``(tgd_index, pivot_index, lo, hi)`` and work is measured in
+        pivot atoms.  The plan is a pure function of (tgds, delta), so every
+        backend — and every rerun after a fallback — partitions identically.
+        """
+        pairs = []
+        total = 0
+        for tgd_index, tgd in enumerate(self.tgds):
+            for pivot_index, pivot in enumerate(tgd.body):
+                size = len(delta.with_predicate(pivot.predicate))
+                if size:
+                    pairs.append((tgd_index, pivot_index, size))
+                    total += size
+        if not pairs:
+            return [], 0
+        slots = self.workers * self.chunks_per_worker
+        target = max(1, -(-total // slots))  # ceil(total / slots)
+        tasks: List[list] = []
+        current: List[tuple] = []
+        load = 0
+        for tgd_index, pivot_index, size in pairs:
+            lo = 0
+            while lo < size:
+                take = min(target - load, size - lo)
+                current.append((tgd_index, pivot_index, lo, lo + take))
+                load += take
+                lo += take
+                if load >= target:
+                    tasks.append(current)
+                    current, load = [], 0
+        if current:
+            tasks.append(current)
+        return tasks, total
+
+    # -- execution ---------------------------------------------------------
+
+    def _run_process(self, instance: Instance, delta, tasks) -> List[list]:
+        global _FORK_STATE
+        context = multiprocessing.get_context("fork")
+        with _FORK_LOCK:
+            _FORK_STATE = (self.tgds, instance, delta)
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks)), mp_context=context
+                ) as pool:
+                    return list(pool.map(_discover_task, tasks))
+            finally:
+                _FORK_STATE = None
+
+    def _run_threads(self, instance: Instance, delta, tasks) -> List[list]:
+        if self._thread_pool is None:
+            self._thread_pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="chase-matcher"
+            )
+        run = lambda chunks: _match_chunks(self.tgds, instance, delta, chunks)
+        return list(self._thread_pool.map(run, tasks))
+
+    def discover(self, instance: Instance, delta) -> List[Trigger]:
+        """The round's new triggers in ``(birth, canonical_key)`` order.
+
+        Byte-identical to ``seminaive_triggers(self.tgds, instance, delta)``
+        on every backend, including after a mid-run fallback.
+        """
+        if not delta:
+            return []
+        if self.backend == "serial":
+            self.rounds_serial += 1
+            return seminaive_triggers(self.tgds, instance, delta)
+        tasks, total = self._plan(delta)
+        if not tasks:
+            self.rounds_serial += 1
+            return []
+        if total < self.min_parallel_work or len(tasks) < 2:
+            self.rounds_serial += 1
+            return seminaive_triggers(self.tgds, instance, delta)
+        results: Optional[List[list]] = None
+        if self.backend == "process":
+            try:
+                results = self._run_process(instance, delta, tasks)
+            except _POOL_ERRORS as error:
+                warnings.warn(
+                    f"process pool unavailable ({error!r}); "
+                    "falling back to threaded discovery",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                self.backend = "thread"
+        if results is None:
+            results = self._run_threads(instance, delta, tasks)
+        self.rounds_parallel += 1
+        return _merge(self.tgds, results)
+
+
+def _merge(tgds: Sequence[TGD], results: List[list]) -> List[Trigger]:
+    """Max-merge per-task rows; rebuild triggers; sort like the serial pass.
+
+    The max over per-row births is commutative and associative, and the
+    final ``(birth, canonical_key)`` sort is total, so the merged list is
+    independent of task scheduling — and equal to the serial pass, which
+    computes the same maxima pivot by pivot.
+    """
+    births: Dict[tuple, int] = {}
+    for rows in results:
+        for tgd_index, values, birth in rows:
+            key = (tgd_index, values)
+            previous = births.get(key)
+            if previous is None or birth > previous:
+                births[key] = birth
+    orders: Dict[TGD, tuple] = {}
+    merged = []
+    for (tgd_index, values), birth in births.items():
+        tgd = tgds[tgd_index]
+        trigger = Trigger(tgd, dict(zip(_body_order(tgd, orders), values)))
+        merged.append((birth, trigger))
+    merged.sort(key=lambda row: (row[0], row[1].canonical_key))
+    return [trigger for _, trigger in merged]
+
+
+def parallel_map(fn, payloads, workers: int = 1, backend: str = "process") -> list:
+    """Map ``fn`` over ``payloads`` on a pool; results in payload order.
+
+    The deciders' tier: each payload is one *independent chase* (a
+    divergence-suspect database plus its search parameters), so tasks ship
+    whole and results come back pickled — no shared state.  Result order
+    follows payload order regardless of completion order, which is what
+    keeps parallel verdicts identical to serial ones (the caller scans
+    results front to back, exactly like the serial loop).
+
+    Fallback ladder: ``workers<=1`` / single payload / ``backend="serial"``
+    → plain loop; ``fork`` missing or the pool failing to start → threads.
+    ``fn`` must be a module-level function for the process path.
+    """
+    payloads = list(payloads)
+    if workers <= 1 or len(payloads) <= 1 or backend == "serial":
+        return [fn(payload) for payload in payloads]
+    if backend == "process" and _fork_available():
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(payloads)), mp_context=context
+            ) as pool:
+                return list(pool.map(fn, payloads))
+        except _POOL_ERRORS as error:
+            warnings.warn(
+                f"process pool unavailable ({error!r}); "
+                "falling back to threaded map",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+    with ThreadPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
+        return list(pool.map(fn, payloads))

@@ -85,15 +85,29 @@ def restricted_chase(
     strategy: Union[str, StrategyFn] = "fifo",
     max_steps: int = 10_000,
     seed: Optional[int] = None,
+    workers: int = 1,
+    parallel_backend: str = "process",
 ) -> ChaseResult:
     """Run one restricted chase derivation.
 
     Returns a :class:`ChaseResult`; ``terminated`` is False when
     ``max_steps`` applications happened with active triggers remaining
     (the derivation is then a proper prefix).
+
+    ``workers``/``parallel_backend`` only apply to ``strategy="semi_naive"``
+    (per-application discovery of the step strategies has nothing to fan
+    out): with ``workers > 1`` each round's discovery batch runs on a
+    :class:`repro.chase.parallel.ParallelMatcher` pool, with results —
+    instance, verdict, derivation — byte-identical to ``workers=1``.
     """
     if strategy == "semi_naive":
-        return seminaive_chase(database, tgds, max_steps=max_steps)
+        return seminaive_chase(
+            database,
+            tgds,
+            max_steps=max_steps,
+            workers=workers,
+            parallel_backend=parallel_backend,
+        )
     choose = _resolve_strategy(strategy, seed)
     engine = ChaseEngine(database, tgds)
     derivation = Derivation(engine.instance)
@@ -115,6 +129,8 @@ def seminaive_chase(
     database: Instance,
     tgds: Sequence[TGD],
     max_steps: int = 10_000,
+    workers: int = 1,
+    parallel_backend: str = "process",
 ) -> ChaseResult:
     """The set-at-a-time restricted chase (``strategy="semi_naive"``).
 
@@ -125,18 +141,34 @@ def seminaive_chase(
     — is byte-identical to ``restricted_chase(..., strategy="fifo")``; see
     the round lifecycle notes in ``docs/ARCHITECTURE.md`` for why the
     orders coincide.
+
+    With ``workers > 1`` the per-round discovery pass fans out over a
+    :class:`repro.chase.parallel.ParallelMatcher` pool (process-based by
+    default, threaded fallback); the merged batches replay the serial order
+    exactly, so the result stays byte-identical across worker counts.
     """
-    engine = ChaseEngine(database, tgds)
+    matcher = None
+    if workers > 1:
+        from repro.chase.parallel import ParallelMatcher
+
+        matcher = ParallelMatcher(tgds, workers=workers, backend=parallel_backend)
+    engine = ChaseEngine(database, tgds, matcher=matcher)
     derivation = Derivation(engine.instance)
     steps = 0
-    while engine.pending:
-        round_result = engine.run_round(max_applications=max_steps - steps)
-        for trigger in round_result.applied:
-            derivation.append(trigger)
-        steps += len(round_result.applied)
-        if round_result.cut:
-            return ChaseResult(engine.instance, derivation, terminated=False, steps=steps)
-    return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
+    try:
+        while engine.pending:
+            round_result = engine.run_round(max_applications=max_steps - steps)
+            for trigger in round_result.applied:
+                derivation.append(trigger)
+            steps += len(round_result.applied)
+            if round_result.cut:
+                return ChaseResult(
+                    engine.instance, derivation, terminated=False, steps=steps
+                )
+        return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
+    finally:
+        if matcher is not None:
+            matcher.close()
 
 
 def restricted_chase_naive(

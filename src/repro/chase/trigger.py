@@ -65,6 +65,15 @@ class Trigger:
     def __setattr__(self, name, value):
         raise AttributeError("Trigger is immutable")
 
+    def __reduce__(self):
+        # The immutable __setattr__ defeats default slot unpickling; rebuild
+        # through __init__ (caches re-derive lazily).  Consumer: the
+        # parallel_map tier — suspect-scan workers return PumpWitness
+        # certificates whose Derivation.steps are triggers.  (Round-level
+        # discovery workers do NOT use this: they ship compact
+        # (tgd_index, values, birth) rows instead — see chase/parallel.py.)
+        return (type(self), (self.tgd, dict(self.h.items())))
+
     @property
     def key(self) -> tuple:
         """Hashable identity of the trigger: ``(σ, h)`` up to representation."""
@@ -213,6 +222,50 @@ def new_triggers(
                         yield trigger
 
 
+def match_pivot_bucket(
+    tgd: TGD,
+    pivot_index: int,
+    bucket,
+    delta,
+    instance: Instance,
+    births: Dict[tuple, int],
+    found: Dict[tuple, Trigger],
+) -> None:
+    """Match one ``(tgd, pivot)`` pair against a slice of the round's delta.
+
+    The inner loop of semi-naive discovery, shared verbatim by the serial
+    pass (:func:`seminaive_triggers`) and the parallel workers of
+    :mod:`repro.chase.parallel` — one code path is what makes the
+    serial-vs-parallel equivalence an accounting argument rather than a
+    re-proof.  ``bucket`` is any iterable of delta atoms under the pivot's
+    predicate (the whole per-predicate bucket, or a chunk of it); results
+    accumulate into ``births``/``found`` keyed by :attr:`Trigger.key`, with
+    ``births`` keeping the *maximum* delta position over every pivot hit.
+    """
+    pivot = tgd.body[pivot_index]
+    rest = [a for i, a in enumerate(tgd.body) if i != pivot_index]
+    for pivot_atom in bucket:
+        base = match_atom(pivot, pivot_atom)
+        if base is None:
+            continue
+        birth = delta.position(pivot_atom)
+        if rest:
+            matches = homomorphisms(rest, instance, partial=base)
+        else:
+            # Single-atom body: the pivot binding is the whole
+            # homomorphism — skip the join machinery.
+            matches = (base,)
+        for h in matches:
+            trigger = Trigger(tgd, h)
+            key = trigger.key
+            previous = births.get(key)
+            if previous is None:
+                found[key] = trigger
+                births[key] = birth
+            elif birth > previous:
+                births[key] = birth
+
+
 def seminaive_triggers(
     tgds: Iterable[TGD], instance: Instance, delta
 ) -> List[Trigger]:
@@ -234,6 +287,10 @@ def seminaive_triggers(
     that completes its body image, and each per-application batch is
     canonically sorted), which is what keeps round-based runs byte-identical
     to step-at-a-time runs.
+
+    :class:`repro.chase.parallel.ParallelMatcher` computes the same list by
+    fanning the ``(tgd, pivot)`` × delta-chunk grid over a worker pool and
+    max-merging the per-chunk ``births``.
     """
     if not delta:
         return []
@@ -244,27 +301,9 @@ def seminaive_triggers(
             bucket = delta.with_predicate(pivot.predicate)
             if not bucket:
                 continue
-            rest = [a for i, a in enumerate(tgd.body) if i != pivot_index]
-            for pivot_atom in bucket:
-                base = match_atom(pivot, pivot_atom)
-                if base is None:
-                    continue
-                birth = delta.position(pivot_atom)
-                if rest:
-                    matches = homomorphisms(rest, instance, partial=base)
-                else:
-                    # Single-atom body: the pivot binding is the whole
-                    # homomorphism — skip the join machinery.
-                    matches = (base,)
-                for h in matches:
-                    trigger = Trigger(tgd, h)
-                    key = trigger.key
-                    previous = births.get(key)
-                    if previous is None:
-                        found[key] = trigger
-                        births[key] = birth
-                    elif birth > previous:
-                        births[key] = birth
+            match_pivot_bucket(
+                tgd, pivot_index, bucket, delta, instance, births, found
+            )
     return sorted(
         found.values(), key=lambda t: (births[t.key], t.canonical_key)
     )

@@ -37,6 +37,11 @@ class Atom:
     def __setattr__(self, name, value):
         raise AttributeError("Atom is immutable")
 
+    def __reduce__(self):
+        # The immutable __setattr__ defeats default slot unpickling; rebuild
+        # through __init__ so atoms can cross process-pool boundaries.
+        return (type(self), (self.predicate, self.terms))
+
     @property
     def arity(self) -> int:
         """Number of arguments."""

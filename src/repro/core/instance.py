@@ -83,6 +83,30 @@ class Delta:
         """The atom's birth position within the round (insertion counter)."""
         return self._positions[atom]
 
+    def snapshot(self) -> list:
+        """``(atom, birth position)`` pairs in insertion order.
+
+        The pickle-friendly export backing ``__reduce__``; :meth:`_restore`
+        rebuilds an identical delta (per-predicate buckets re-derived, birth
+        counters preserved) from it.  The current pool backends hand deltas
+        to workers by fork snapshot or shared memory, so this wire format is
+        for deltas embedded in *pickled* payloads — spawn-based pools or
+        future persistent-worker protocols that ship per-round deltas.
+        """
+        return list(self._positions.items())
+
+    @classmethod
+    def _restore(cls, items, counter) -> "Delta":
+        delta = cls()
+        for atom, position in items:
+            delta._positions[atom] = position
+            delta._by_predicate.setdefault(atom.predicate, {})[atom] = None
+        delta._counter = counter
+        return delta
+
+    def __reduce__(self):
+        return (type(self)._restore, (self.snapshot(), self._counter))
+
     def atoms(self) -> list:
         """The recorded atoms in insertion order."""
         return list(self._positions)
@@ -128,6 +152,17 @@ class Instance:
         if atoms is not None:
             for atom in atoms:
                 self.add(atom)
+
+    def __reduce__(self):
+        # Pickle as the insertion-ordered atom list; __init__ re-derives the
+        # predicate and term-position buckets on the other side.  Bucket
+        # iteration order — which the chase engines rely on — is a function
+        # of the insertion sequence, so the rebuilt instance is
+        # index-identical, not just set-equal.  A mid-round delta is
+        # deliberately not carried across: instances only cross process
+        # boundaries in whole-task payloads (parallel_map suspects), never
+        # mid-round.
+        return (type(self), (list(self._atoms),))
 
     # -- round-delta tracking (semi-naive evaluation) ----------------------
 

@@ -38,6 +38,11 @@ class Substitution:
     def __setattr__(self, name, value):
         raise AttributeError("Substitution is immutable")
 
+    def __reduce__(self):
+        # The immutable __setattr__ defeats default slot unpickling; rebuild
+        # through __init__ so substitutions can cross process boundaries.
+        return (type(self), (dict(self._map),))
+
     def get(self, term: Term, default: Optional[Term] = None) -> Optional[Term]:
         """The image of ``term``, or ``default`` when unmapped."""
         return self._map.get(term, default)

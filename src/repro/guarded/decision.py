@@ -212,17 +212,77 @@ def _try_replay(
     )
 
 
+def _suspect_scan(payload) -> Optional[PumpWitness]:
+    """One divergence-suspect task: chase a candidate database, hunt a pump.
+
+    Module-level so :func:`repro.chase.parallel.parallel_map` can ship it to
+    a process pool; the payload is ``(database, tgds, max_steps, replays)``
+    and the returned :class:`PumpWitness` (or None) pickles back.  The
+    strategy ladder — a divergence-biased LIFO probe, then the semi-naive
+    engine (byte-identical to fifo) — is exactly the serial loop's, so a
+    parallel scan reproduces serial verdicts database for database.
+    """
+    database, tgds, max_steps, replays = payload
+    # semi_naive is byte-identical to fifo but pays trigger discovery
+    # once per round — the right mode for this many independent chases.
+    for strategy in ("lifo", "semi_naive"):
+        run = restricted_chase(database, tgds, strategy=strategy, max_steps=max_steps)
+        if run.terminated:
+            continue
+        pump = find_pump(database, tgds, run.derivation, replays=replays)
+        if pump is not None:
+            return pump
+    return None
+
+
+def scan_suspects(
+    candidates: Sequence[Instance],
+    tgds: Sequence[TGD],
+    max_steps: int,
+    replays: int,
+    workers: int = 1,
+) -> Optional[Tuple[Instance, PumpWitness]]:
+    """Run the suspect chases; return the first (by candidate order) pump.
+
+    With ``workers > 1`` the independent chases run as pool tasks via
+    :func:`repro.chase.parallel.parallel_map`; results come back in payload
+    order, and the front-to-back scan below picks the same witness the
+    serial loop would have returned first.  (Parallelism trades the serial
+    loop's early exit for wall-clock: all candidates are chased even when
+    an early one pumps.)
+    """
+    from repro.chase.parallel import parallel_map
+
+    tgd_list = list(tgds)
+    if workers <= 1:
+        # Serial keeps the historical early exit: stop at the first pump.
+        for database in candidates:
+            pump = _suspect_scan((database, tgd_list, max_steps, replays))
+            if pump is not None:
+                return database, pump
+        return None
+    payloads = [(database, tgd_list, max_steps, replays) for database in candidates]
+    results = parallel_map(_suspect_scan, payloads, workers=workers)
+    for database, pump in zip(candidates, results):
+        if pump is not None:
+            return database, pump
+    return None
+
+
 def decide_guarded(
     tgds: Sequence[TGD],
     max_steps: int = 60,
     replays: int = 3,
     extra_candidates: Optional[Sequence[Instance]] = None,
+    workers: int = 1,
 ) -> Verdict:
     """The certifying decision procedure for guarded sets (DESIGN.md §3).
 
     ``max_steps`` bounds the divergence-suspect runs; ``extra_candidates``
     adds user-supplied databases to the witness search (e.g. treeified
-    databases from observed behaviour).
+    databases from observed behaviour).  ``workers > 1`` fans the
+    independent suspect chases out over a process pool with deterministic
+    (candidate-order) result selection — verdicts are identical to serial.
     """
     tgd_list = list(tgds)
     check_guarded_set(tgd_list)
@@ -244,26 +304,20 @@ def decide_guarded(
     candidates: List[Instance] = list(candidate_databases(tgd_list))
     if extra_candidates:
         candidates.extend(extra_candidates)
-    for database in candidates:
-        # semi_naive is byte-identical to fifo but pays trigger discovery
-        # once per round — the right mode for this many independent chases.
-        for strategy in ("lifo", "semi_naive"):
-            run = restricted_chase(database, tgd_list, strategy=strategy, max_steps=max_steps)
-            if run.terminated:
-                continue
-            pump = find_pump(database, tgd_list, run.derivation, replays=replays)
-            if pump is not None:
-                return Verdict(
-                    Status.NOT_ALL_TERMINATING,
-                    method="guarded-replay",
-                    certificate={"witness": pump},
-                    detail=(
-                        f"database {database.sorted_atoms()} admits a "
-                        f"replay-certified periodic derivation "
-                        f"({pump.period_length}-step period, "
-                        f"{pump.replays} replays validated)"
-                    ),
-                )
+    hit = scan_suspects(candidates, tgd_list, max_steps, replays, workers=workers)
+    if hit is not None:
+        database, pump = hit
+        return Verdict(
+            Status.NOT_ALL_TERMINATING,
+            method="guarded-replay",
+            certificate={"witness": pump},
+            detail=(
+                f"database {database.sorted_atoms()} admits a "
+                f"replay-certified periodic derivation "
+                f"({pump.period_length}-step period, "
+                f"{pump.replays} replays validated)"
+            ),
+        )
     return Verdict(
         Status.UNKNOWN,
         method="guarded-bounded-search",

@@ -60,10 +60,15 @@ class TerminationAnalyzer:
         sticky_max_states: int = 100_000,
         guarded_max_steps: int = 60,
         replays: int = 3,
+        workers: int = 1,
     ):
         self.sticky_max_states = sticky_max_states
         self.guarded_max_steps = guarded_max_steps
         self.replays = replays
+        #: Pool width for the divergence-suspect chases (1 = serial).  The
+        #: suspects are independent chases, so they parallelize whole; the
+        #: candidate-order result scan keeps verdicts serial-identical.
+        self.workers = workers
 
     def classify(self, tgds: Sequence[TGD]) -> Classification:
         return Classification(tgds)
@@ -81,6 +86,7 @@ class TerminationAnalyzer:
                 tgd_list,
                 max_steps=self.guarded_max_steps,
                 replays=self.replays,
+                workers=self.workers,
             )
         # General single-head TGDs: sound certificates + sound witnesses only.
         certificate = terminating_certificate(tgd_list)
@@ -98,26 +104,26 @@ class TerminationAnalyzer:
         critical = critical_oblivious_verdict(tgd_list)
         if critical is not None:
             return critical
-        from repro.guarded.decision import candidate_databases, find_pump
-        from repro.chase.restricted import restricted_chase
+        from repro.guarded.decision import candidate_databases, scan_suspects
 
-        for database in candidate_databases(tgd_list):
-            # semi_naive ≡ fifo result-for-result; batched rounds amortize
-            # discovery across the corpus's many independent chases.
-            for strategy in ("lifo", "semi_naive"):
-                run = restricted_chase(
-                    database, tgd_list, strategy=strategy, max_steps=self.guarded_max_steps
-                )
-                if run.terminated:
-                    continue
-                pump = find_pump(database, tgd_list, run.derivation, replays=self.replays)
-                if pump is not None:
-                    return Verdict(
-                        Status.NOT_ALL_TERMINATING,
-                        method="general-replay",
-                        certificate={"witness": pump},
-                        detail="replay-certified periodic derivation (general TGDs)",
-                    )
+        # The suspect scan (lifo probe + semi-naive rerun + pump replay per
+        # candidate) runs as independent pool tasks when workers > 1, with
+        # candidate-order selection keeping the verdict serial-identical.
+        hit = scan_suspects(
+            candidate_databases(tgd_list),
+            tgd_list,
+            self.guarded_max_steps,
+            self.replays,
+            workers=self.workers,
+        )
+        if hit is not None:
+            _, pump = hit
+            return Verdict(
+                Status.NOT_ALL_TERMINATING,
+                method="general-replay",
+                certificate={"witness": pump},
+                detail="replay-certified periodic derivation (general TGDs)",
+            )
         return Verdict(
             Status.UNKNOWN,
             method="general-bounded-search",

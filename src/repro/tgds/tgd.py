@@ -65,6 +65,12 @@ class TGD:
     def __setattr__(self, name, value):
         raise AttributeError("TGD is immutable")
 
+    def __reduce__(self):
+        # The immutable __setattr__ defeats default slot unpickling; rebuild
+        # through __init__ (re-deriving the cached frontier/digest state) so
+        # TGDs can cross process-pool boundaries.
+        return (type(self), (self.body, self.head, self.name))
+
     @staticmethod
     def _default_name(body: Tuple[Atom, ...], head: Atom) -> str:
         text = ",".join(repr(a) for a in body) + "->" + repr(head)
@@ -206,6 +212,9 @@ class MultiHeadTGD:
 
     def __setattr__(self, name, value):
         raise AttributeError("MultiHeadTGD is immutable")
+
+    def __reduce__(self):
+        return (type(self), (self.body, self.head, self.name))
 
     @staticmethod
     def parse(text: str, name: Optional[str] = None) -> "MultiHeadTGD":

@@ -1,0 +1,429 @@
+"""Serial-vs-parallel equivalence of pool-backed trigger discovery.
+
+``ParallelMatcher`` must be a drop-in for the serial semi-naive discovery
+pass: same trigger list (order included), and therefore byte-identical
+chases — instance, verdict, derivation — at every worker count, on every
+backend, including after a mid-run fallback from a broken process pool.
+These tests enforce that obligation on the generator corpus (the CI
+``parallel-equivalence`` job runs them pinned to one pool width via
+``CHASE_EQUIV_WORKERS``), cover the pickle support the process pool rides
+on, and spot-check the second tier: the deciders' parallel suspect scans.
+
+Every parallel test pins ``min_parallel_work`` to 0 (directly or by
+monkeypatching the module default) so the tiny corpora here actually cross
+the pool instead of short-circuiting to the serial path.
+"""
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database, Delta, Instance
+from repro.core.parsing import parse_database
+from repro.core.substitution import Substitution
+from repro.core.terms import Constant, Variable
+from repro.chase.engine import ChaseEngine
+from repro.chase.oblivious import oblivious_chase
+from repro.chase.restricted import restricted_chase
+from repro.chase.trigger import Trigger, seminaive_triggers
+from repro.chase import parallel
+from repro.chase.parallel import ParallelMatcher, parallel_map
+from repro.guarded.decision import candidate_databases, decide_guarded
+from repro.termination.analyzer import TerminationAnalyzer
+from repro.tgds.generators import GeneratorProfile, corpus
+from repro.tgds.tgd import parse_tgds
+
+#: Pool widths under test; the CI matrix pins one per job.
+WORKERS = [
+    int(w) for w in os.environ.get("CHASE_EQUIV_WORKERS", "2,4").split(",")
+]
+
+#: Same dense-existential profile as the semi-naive equivalence suite.
+PROFILE = GeneratorProfile(
+    num_predicates=2, max_arity=2, num_tgds=3, existential_probability=0.8
+)
+
+JOIN_TGDS = parse_tgds(
+    [
+        "E(x,y) -> F(x,y)",
+        "F(x,y), F(y,z) -> T(x,z)",
+        "T(x,y) -> S(x)",
+    ]
+)
+
+
+def ring_database(n: int) -> Database:
+    return Database(
+        Atom("E", [Constant(f"c{i}"), Constant(f"c{(i + 1) % n}")]) for i in range(n)
+    )
+
+
+def assert_identical_runs(serial, parallel_run):
+    assert serial.terminated == parallel_run.terminated
+    assert serial.steps == parallel_run.steps
+    assert serial.instance == parallel_run.instance
+    assert serial.instance.sorted_atoms() == parallel_run.instance.sorted_atoms()
+    assert [t.key for t in serial.derivation.steps] == [
+        t.key for t in parallel_run.derivation.steps
+    ]
+
+
+def materialize_round(database, tgds):
+    """Apply one round by hand; returns (engine, delta) for discovery tests."""
+    engine = ChaseEngine(database, tgds)
+    engine.instance.track_delta()
+    for trigger in engine.take_pending():
+        if engine.is_active(trigger):
+            atom = trigger.result()
+            if engine.instance.add(atom):
+                engine.witnesses.note(atom)
+    return engine, engine.instance.take_delta()
+
+
+class TestPickling:
+    """The wire formats the process pool depends on."""
+
+    def test_atom_round_trip(self):
+        atom = Atom("R", [Constant("a"), Constant("b")])
+        assert pickle.loads(pickle.dumps(atom)) == atom
+
+    def test_substitution_round_trip(self):
+        sub = Substitution({Variable("x"): Constant("a")})
+        assert pickle.loads(pickle.dumps(sub)) == sub
+
+    def test_tgd_round_trip(self):
+        tgd = JOIN_TGDS[1]
+        back = pickle.loads(pickle.dumps(tgd))
+        assert back == tgd and back.name == tgd.name
+        assert back.frontier_order == tgd.frontier_order
+
+    def test_trigger_round_trip_preserves_key_and_result(self):
+        tgd = JOIN_TGDS[0]
+        trigger = Trigger(tgd, {Variable("x"): Constant("a"), Variable("y"): Constant("b")})
+        back = pickle.loads(pickle.dumps(trigger))
+        assert back.key == trigger.key
+        assert back.result() == trigger.result()
+        assert back.canonical_key == trigger.canonical_key
+
+    def test_instance_round_trip_preserves_insertion_order(self):
+        atoms = [Atom("R", [Constant(f"c{i}"), Constant("a")]) for i in (3, 1, 2)]
+        instance = Instance(atoms)
+        back = pickle.loads(pickle.dumps(instance))
+        assert list(back) == atoms
+        # Index buckets are rebuilt in the same (insertion) order.
+        assert list(back.with_term_at("R", 2, Constant("a"))) == atoms
+
+    def test_database_round_trip_stays_a_database(self):
+        db = ring_database(3)
+        back = pickle.loads(pickle.dumps(db))
+        assert isinstance(back, Database)
+        assert back.sorted_atoms() == db.sorted_atoms()
+
+    def test_delta_snapshot_round_trip(self):
+        instance = Instance()
+        delta = instance.track_delta()
+        atoms = [Atom("R", [Constant(f"c{i}")]) for i in range(3)]
+        for atom in atoms:
+            instance.add(atom)
+        instance.take_delta()
+        back = pickle.loads(pickle.dumps(delta))
+        assert back.atoms() == atoms
+        assert [back.position(a) for a in atoms] == [0, 1, 2]
+        assert list(back.with_predicate("R")) == atoms
+
+    def test_delta_snapshot_export(self):
+        delta = Delta()
+        atom = Atom("R", [Constant("a")])
+        delta.record(atom)
+        assert delta.snapshot() == [(atom, 0)]
+
+
+class TestMatcherDiscovery:
+    """discover() == seminaive_triggers(), order included, on every backend."""
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_identical_to_serial_pass(self, backend):
+        engine, delta = materialize_round(ring_database(8), JOIN_TGDS)
+        expected = [
+            t.key for t in seminaive_triggers(JOIN_TGDS, engine.instance, delta)
+        ]
+        assert expected  # the round must actually discover something
+        with ParallelMatcher(
+            JOIN_TGDS, workers=3, backend=backend, min_parallel_work=0
+        ) as matcher:
+            got = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert got == expected
+            assert matcher.rounds_parallel == 1
+
+    def test_workers_one_short_circuits_to_serial(self):
+        engine, delta = materialize_round(ring_database(4), JOIN_TGDS)
+        matcher = ParallelMatcher(JOIN_TGDS, workers=1, min_parallel_work=0)
+        assert matcher.backend == "serial"
+        got = [t.key for t in matcher.discover(engine.instance, delta)]
+        assert got == [
+            t.key for t in seminaive_triggers(JOIN_TGDS, engine.instance, delta)
+        ]
+        assert matcher.rounds_parallel == 0 and matcher.rounds_serial == 1
+
+    def test_small_rounds_stay_serial_under_default_threshold(self):
+        engine, delta = materialize_round(ring_database(4), JOIN_TGDS)
+        with ParallelMatcher(JOIN_TGDS, workers=2, backend="thread") as matcher:
+            matcher.discover(engine.instance, delta)
+            assert matcher.rounds_parallel == 0 and matcher.rounds_serial == 1
+
+    def test_empty_delta(self):
+        matcher = ParallelMatcher(JOIN_TGDS, workers=2, min_parallel_work=0)
+        assert matcher.discover(Instance(), Delta()) == []
+
+    def test_plan_covers_the_grid_exactly_once(self):
+        engine, delta = materialize_round(ring_database(8), JOIN_TGDS)
+        matcher = ParallelMatcher(JOIN_TGDS, workers=3, min_parallel_work=0)
+        tasks, total = matcher._plan(delta)
+        seen = {}
+        for task in tasks:
+            for tgd_index, pivot_index, lo, hi in task:
+                assert lo < hi
+                spans = seen.setdefault((tgd_index, pivot_index), [])
+                spans.append((lo, hi))
+        for (tgd_index, pivot_index), spans in seen.items():
+            spans.sort()
+            predicate = JOIN_TGDS[tgd_index].body[pivot_index].predicate
+            size = len(delta.with_predicate(predicate))
+            assert spans[0][0] == 0 and spans[-1][1] == size
+            for (_, hi), (lo, _) in zip(spans, spans[1:]):
+                assert hi == lo  # contiguous, non-overlapping
+        assert total == sum(hi - lo for spans in seen.values() for lo, hi in spans)
+
+    @pytest.mark.parametrize("backend", ["process", "thread"])
+    def test_duplicate_equal_tgds_resolve_to_the_first(self, backend):
+        # TGD equality ignores the name, but null naming (digest_prefix)
+        # includes it: two same-body/head rules under different names must
+        # rebuild through the FIRST rule's index, or the merged triggers
+        # invent different nulls than the serial pass (regression test for
+        # an equality-keyed last-wins index map).
+        from repro.tgds.tgd import TGD
+
+        tgds = [
+            TGD.parse("E(x,y) -> F(x,z)", name="alpha"),
+            TGD.parse("E(x,y) -> F(x,z)", name="beta"),
+        ]
+        # One round's delta = the database itself, tracked from empty.
+        probe = Instance()
+        delta = probe.track_delta()
+        for atom in ring_database(6):
+            probe.add(atom)
+        probe.take_delta()
+        serial = seminaive_triggers(tgds, probe, delta)
+        assert serial  # E atoms pivot both rules
+        with ParallelMatcher(
+            tgds, workers=2, backend=backend, min_parallel_work=0
+        ) as matcher:
+            fanned = matcher.discover(probe, delta)
+        assert [t.key for t in fanned] == [t.key for t in serial]
+        # The byte-level obligation: identical result atoms (null names).
+        assert [t.result() for t in fanned] == [t.result() for t in serial]
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            ParallelMatcher(JOIN_TGDS, workers=2, backend="bogus")
+
+    def test_engine_rejects_mismatched_matcher(self):
+        other = parse_tgds(["R(x,y) -> S(x)"])
+        matcher = ParallelMatcher(other, workers=2)
+        with pytest.raises(ValueError):
+            ChaseEngine(ring_database(3), JOIN_TGDS, matcher=matcher)
+
+    def test_engine_rejects_renamed_but_equal_matcher(self):
+        # TGD equality ignores names but null digests do not: a matcher
+        # over renamed-equal rules would silently invent different nulls,
+        # so the guard must compare digest identity, not equality.
+        from repro.tgds.tgd import TGD
+
+        renamed = [TGD.parse("E(x,y) -> F(x,y)", name="other")]
+        tgds = [TGD.parse("E(x,y) -> F(x,y)", name="s1")]
+        assert renamed[0] == tgds[0]
+        matcher = ParallelMatcher(renamed, workers=2)
+        with pytest.raises(ValueError):
+            ChaseEngine(ring_database(3), tgds, matcher=matcher)
+
+
+class TestCorpusEquivalence:
+    """Property tests: serial semi-naive ≡ parallel, for workers ∈ {2, 4}."""
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    @pytest.mark.parametrize("family", ["linear", "guarded"])
+    def test_generator_corpus(self, workers, family, monkeypatch):
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        for tgds in corpus(family, 2, base_seed=5, profile=PROFILE):
+            for database in candidate_databases(tgds)[:2]:
+                for max_steps in (7, 30):
+                    serial = restricted_chase(
+                        database, tgds, strategy="semi_naive", max_steps=max_steps
+                    )
+                    fanned = restricted_chase(
+                        database,
+                        tgds,
+                        strategy="semi_naive",
+                        max_steps=max_steps,
+                        workers=workers,
+                    )
+                    assert_identical_runs(serial, fanned)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_join_workload(self, workers, monkeypatch):
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        db = ring_database(12)
+        serial = restricted_chase(db, JOIN_TGDS, strategy="semi_naive")
+        fanned = restricted_chase(
+            db, JOIN_TGDS, strategy="semi_naive", workers=workers
+        )
+        assert_identical_runs(serial, fanned)
+
+    @pytest.mark.parametrize("workers", WORKERS)
+    def test_cutoff_prefixes_are_identical(self, workers, monkeypatch):
+        # A diverging set cut off mid-run must still match serial exactly.
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        db = parse_database("R(a,b)")
+        tgds = parse_tgds(["R(x,y) -> R(y,z)"])
+        for max_steps in (1, 3, 6):
+            serial = restricted_chase(
+                db, tgds, strategy="semi_naive", max_steps=max_steps
+            )
+            fanned = restricted_chase(
+                db, tgds, strategy="semi_naive", max_steps=max_steps, workers=workers
+            )
+            assert not fanned.terminated
+            assert_identical_runs(serial, fanned)
+
+    def test_oblivious_fixpoint_identical(self, monkeypatch):
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        db = parse_database("P(a,b)")
+        tgds = parse_tgds(
+            ["P(x,y) -> R(x,y)", "R(x,y) -> S(x)", "S(x) -> R(x,y)"]
+        )
+        serial = oblivious_chase(db, tgds, max_atoms=200, max_rounds=8)
+        fanned = oblivious_chase(db, tgds, max_atoms=200, max_rounds=8, workers=2)
+        assert serial.terminated == fanned.terminated
+        assert serial.rounds == fanned.rounds
+        assert serial.applications == fanned.applications
+        assert serial.instance == fanned.instance
+
+
+class TestFallback:
+    """Pool unavailable → threaded fallback: no hang, identical results."""
+
+    def test_broken_process_pool_falls_back_to_threads(self, monkeypatch):
+        engine, delta = materialize_round(ring_database(8), JOIN_TGDS)
+        expected = [
+            t.key for t in seminaive_triggers(JOIN_TGDS, engine.instance, delta)
+        ]
+        with ParallelMatcher(
+            JOIN_TGDS, workers=2, backend="process", min_parallel_work=0
+        ) as matcher:
+
+            def refuse(*args, **kwargs):
+                raise OSError("fork restricted")
+
+            monkeypatch.setattr(matcher, "_run_process", refuse)
+            with pytest.warns(RuntimeWarning, match="falling back to threaded"):
+                got = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert got == expected
+            assert matcher.backend == "thread"
+            # Subsequent rounds go straight to threads — no more warnings.
+            import warnings as warnings_module
+
+            with warnings_module.catch_warnings():
+                warnings_module.simplefilter("error")
+                again = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert again == expected
+            assert matcher.rounds_parallel == 2
+
+    def test_fork_unavailable_picks_threads_at_construction(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_fork_available", lambda: False)
+        matcher = ParallelMatcher(JOIN_TGDS, workers=2, backend="process")
+        assert matcher.backend == "thread"
+
+    def test_chase_survives_broken_pool(self, monkeypatch):
+        # End to end: a chase whose every pool launch fails still finishes
+        # with byte-identical results via threads.
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+
+        def refuse(self, instance, delta, tasks):
+            raise OSError("fork restricted")
+
+        monkeypatch.setattr(ParallelMatcher, "_run_process", refuse)
+        db = ring_database(8)
+        serial = restricted_chase(db, JOIN_TGDS, strategy="semi_naive")
+        with pytest.warns(RuntimeWarning):
+            fanned = restricted_chase(
+                db, JOIN_TGDS, strategy="semi_naive", workers=2
+            )
+        assert_identical_runs(serial, fanned)
+
+
+class TestParallelMap:
+    def test_results_in_payload_order(self):
+        out = parallel_map(_square, [3, 1, 2], workers=2, backend="thread")
+        assert out == [9, 1, 4]
+
+    def test_serial_fallback_for_one_worker(self):
+        assert parallel_map(_square, [4, 5], workers=1) == [16, 25]
+
+    def test_process_backend(self):
+        assert parallel_map(_square, [2, 3, 4], workers=2, backend="process") == [
+            4,
+            9,
+            16,
+        ]
+
+
+def _square(x):
+    return x * x
+
+
+class TestDeciderParallel:
+    """Second tier: suspect scans fan out; verdicts stay serial-identical."""
+
+    DIVERGING = ["R(x,y) -> R(y,z)"]
+    MIXED = ["R(x,y), S(y) -> R(y,z)", "R(x,y) -> S(y)"]
+
+    def test_guarded_decider_verdict_identical(self):
+        tgds = parse_tgds(self.DIVERGING)
+        serial = decide_guarded(tgds, max_steps=30)
+        fanned = decide_guarded(tgds, max_steps=30, workers=2)
+        assert (serial.status, serial.method, serial.detail) == (
+            fanned.status,
+            fanned.method,
+            fanned.detail,
+        )
+
+    def test_guarded_corpus_verdicts_identical(self):
+        for tgds in corpus("guarded", 2, base_seed=9, profile=PROFILE):
+            serial = decide_guarded(tgds, max_steps=25)
+            fanned = decide_guarded(tgds, max_steps=25, workers=2)
+            assert (serial.status, serial.method, serial.detail) == (
+                fanned.status,
+                fanned.method,
+                fanned.detail,
+            )
+
+    def test_analyzer_verdict_identical(self):
+        tgds = parse_tgds(self.MIXED)
+        serial = TerminationAnalyzer(guarded_max_steps=30).analyze(tgds)
+        fanned = TerminationAnalyzer(guarded_max_steps=30, workers=2).analyze(tgds)
+        assert (serial.status, serial.method, serial.detail) == (
+            fanned.status,
+            fanned.method,
+            fanned.detail,
+        )
+
+    def test_pump_witness_survives_the_pool(self):
+        # The certificate (a PumpWitness with derivation + instance) crosses
+        # the process boundary intact and still validates.
+        tgds = parse_tgds(self.DIVERGING)
+        fanned = decide_guarded(tgds, max_steps=30, workers=2)
+        if fanned.certificate and "witness" in fanned.certificate:
+            witness = fanned.certificate["witness"]
+            witness.derivation.validate(tgds)
