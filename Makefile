@@ -17,10 +17,24 @@ WORKERS ?= 4
 #: Coverage floor (percent) enforced on src/repro/chase/ by `make coverage`.
 COVERAGE_FLOOR ?= 80
 
-.PHONY: test lint bench bench-quick bench-gate bench-exhibits coverage
+#: Seed for the fault-injection suite (`make test-chaos`); any value works,
+#: the point is that a failing run is reproducible from the seed alone.
+CHAOS_SEED ?= 1307
+
+.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage
 
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The fault-injection suite: the chaos harness's own tests, then the
+# parallel-equivalence and checkpoint property suites with every
+# pool-backed chase routed through ChaosMatcher (CHASE_CHAOS_SEED set).
+# Results must stay byte-identical to serial runs despite injected worker
+# kills, delays, and corrupted results; see docs/CI.md.
+test-chaos:
+	$(PYTHON) -m pytest tests/chase/test_chaos.py -x -q
+	CHASE_CHAOS_SEED=$(CHAOS_SEED) $(PYTHON) -m pytest \
+		tests/chase/test_parallel.py tests/chase/test_checkpoint.py -x -q
 
 # Ruff (config in pyproject.toml).  The offline dev container does not ship
 # ruff; skip with a note there instead of failing — CI installs it and gets

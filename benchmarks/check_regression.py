@@ -13,6 +13,10 @@ the perf floors regress:
   ``parallel_gate_min_cpus`` (a pool cannot beat serial without spare
   CPUs; the report rows carry ``workers`` and ``cpu_count`` precisely so
   this check, and trajectory diffs, stay apples-to-apples);
+* an interrupt-at-mid → checkpoint → resume run must stay within
+  ``checkpoint_overhead_threshold`` (≤1.1×) of the uninterrupted cold run
+  at the largest measured size (lower is better, so the noise margin
+  loosens this ceiling instead of tightening it);
 * every engine pair must have produced identical instances (and, where
   recorded, identical derivations) — an equivalence failure is never
   skippable.
@@ -126,6 +130,30 @@ def gate(report: dict, margin: float) -> list:
                         f"{row['speedup']}x recorded on a {cpus}-CPU host — "
                         f"floor needs >= {parallel_min_cpus} CPUs, not enforced"
                     )
+    checkpoint_rows = report.get("checkpoint_overheads", [])
+    if not checkpoint_rows:
+        failures.append("equivalence: report has no checkpoint_overheads section")
+    else:
+        # Overhead is lower-is-better, so the noise margin *loosens* the
+        # ceiling (margin 0.8 accepts 1.10/0.8 = 1.375x).
+        ceiling = report["acceptance"].get("checkpoint_overhead_threshold", 1.1) / margin
+        largest = max(row["size"] for row in checkpoint_rows)
+        for row in checkpoint_rows:
+            if not row["identical_instances"]:
+                failures.append(
+                    f"equivalence: checkpoint_join n={row['size']}: resumed and "
+                    f"cold instances differ"
+                )
+            if not row.get("identical_derivations", True):
+                failures.append(
+                    f"equivalence: checkpoint_join n={row['size']}: instances "
+                    f"match but the derivations differ"
+                )
+            if row["size"] == largest and row["overhead_ratio"] > ceiling:
+                failures.append(
+                    f"checkpoint_join n={row['size']}: resume overhead "
+                    f"{row['overhead_ratio']}x above the {round(ceiling, 3)}x ceiling"
+                )
     return failures
 
 
@@ -177,7 +205,9 @@ def main(argv=None) -> int:
         "check_regression: PASS — indexed >= "
         f"{report['acceptance']['threshold']}x, semi-naive >= "
         f"{report['acceptance'].get('seminaive_threshold', 2.0)}x, "
-        f"parallel >= {report['acceptance'].get('parallel_threshold', 1.5)}x "
+        f"parallel >= {report['acceptance'].get('parallel_threshold', 1.5)}x, "
+        f"checkpoint overhead <= "
+        f"{report['acceptance'].get('checkpoint_overhead_threshold', 1.1)}x "
         f"(cpus={report['acceptance'].get('cpu_count', '?')}, "
         f"workers={report['acceptance'].get('workers', '?')}), "
         "instances identical"

@@ -20,6 +20,11 @@ worker count and the host CPU count so trajectory comparisons stay
 apples-to-apples; the speedup floor is only enforced on hosts with enough
 CPUs to make it physically meaningful (equivalence is always enforced).
 
+Since PR 6 it also times the ``checkpoint_join`` workload
+(``bench_checkpoint.py``): an interrupt-at-mid → pickle → restore → resume
+run against the uninterrupted cold run, gated at ≤1.1× total overhead with
+byte-identical instances and derivations.
+
 ``benchmarks/check_regression.py`` turns the written report into a CI
 gate; see ``docs/CI.md``.
 
@@ -59,6 +64,10 @@ from repro.chase.oblivious import oblivious_chase
 from repro.chase.restricted import restricted_chase, restricted_chase_naive
 from repro.tgds.tgd import parse_tgds
 
+from bench_checkpoint import (
+    CHECKPOINT_OVERHEAD_THRESHOLD,
+    measure as measure_checkpoint,
+)
 from bench_parallel import (
     GATE_MIN_CPUS,
     PARALLEL_SPEEDUP_THRESHOLD,
@@ -275,6 +284,17 @@ def run_parallel_kernel(sizes, repeats: int, workers: int, max_steps: int = 1_00
     return rows, speedups
 
 
+def run_checkpoint_kernel(sizes, repeats: int):
+    """Checkpoint/resume overhead rows (``bench_checkpoint.py``).
+
+    Each row times an uninterrupted cold run against an interrupt-at-mid →
+    pickle → restore → resume run of the join-heavy workload; the resumed
+    total must stay within ``CHECKPOINT_OVERHEAD_THRESHOLD`` of cold at the
+    largest size, byte-identical instances and derivations throughout.
+    """
+    return [measure_checkpoint(n, repeats=repeats) for n in sizes]
+
+
 def run_oblivious(sizes, repeats: int):
     """The oblivious side of the X11 exhibit (indexed engine only)."""
     rows = []
@@ -323,10 +343,14 @@ def main(argv=None) -> int:
         # Likewise the parallel gate (n >= 64, best-of-2: the chases are
         # seconds long, so two repeats already de-noise the ratio).
         parallel_sizes, parallel_repeats = (32, 64), 2
+        # The checkpoint gate is a single-digit-percent ratio: best-of-3
+        # with interleaved cold/interrupted runs keeps it out of noise.
+        checkpoint_sizes, checkpoint_repeats = (32, 48), 3
     else:
         sizes, repeats = (8, 16, 32, 64), 3
         seminaive_sizes, seminaive_repeats = (16, 32, 64), 3
         parallel_sizes, parallel_repeats = (16, 32, 64), 2
+        checkpoint_sizes, checkpoint_repeats = (24, 32, 48), 3
 
     results = []
     speedups = []
@@ -346,6 +370,7 @@ def main(argv=None) -> int:
         parallel_sizes, parallel_repeats, workers=args.workers
     )
     results.extend(parallel_rows)
+    checkpoint_overheads = run_checkpoint_kernel(checkpoint_sizes, checkpoint_repeats)
 
     # Worker/CPU provenance on every entry (single-threaded kernels are
     # workers=1), so trajectory diffs never compare across pool widths or
@@ -354,7 +379,7 @@ def main(argv=None) -> int:
     for row in results:
         row.setdefault("workers", 1)
         row.setdefault("cpu_count", cpus)
-    for row in speedups + seminaive_speedups:
+    for row in speedups + seminaive_speedups + checkpoint_overheads:
         row.setdefault("workers", 1)
         row.setdefault("cpu_count", cpus)
 
@@ -391,6 +416,17 @@ def main(argv=None) -> int:
             s["speedup"] >= PARALLEL_SPEEDUP_THRESHOLD for s in parallel_at_largest
         )
     )
+    checkpoint_largest = max(checkpoint_sizes)
+    checkpoint_at_largest = [
+        r for r in checkpoint_overheads if r["size"] == checkpoint_largest
+    ]
+    checkpoint_pass = all(
+        r["identical_instances"] and r["identical_derivations"]
+        for r in checkpoint_overheads
+    ) and all(
+        r["overhead_ratio"] <= CHECKPOINT_OVERHEAD_THRESHOLD
+        for r in checkpoint_at_largest
+    )
     verdict = {
         "threshold": SPEEDUP_THRESHOLD,
         "seminaive_threshold": SEMINAIVE_SPEEDUP_THRESHOLD,
@@ -405,6 +441,11 @@ def main(argv=None) -> int:
         "min_parallel_speedup_at_largest": min(
             s["speedup"] for s in parallel_at_largest
         ),
+        "checkpoint_overhead_threshold": CHECKPOINT_OVERHEAD_THRESHOLD,
+        "checkpoint_largest_size": checkpoint_largest,
+        "max_checkpoint_overhead_at_largest": max(
+            r["overhead_ratio"] for r in checkpoint_at_largest
+        ),
         "all_instances_identical": all(
             s["identical_instances"]
             for s in speedups + seminaive_speedups + parallel_speedups
@@ -417,7 +458,7 @@ def main(argv=None) -> int:
         "cpu_count": cpus,
         "parallel_gate_enforced": parallel_gate_enforced,
         "parallel_gate_min_cpus": GATE_MIN_CPUS,
-        "pass": indexed_pass and seminaive_pass and parallel_pass,
+        "pass": indexed_pass and seminaive_pass and parallel_pass and checkpoint_pass,
     }
 
     report = {
@@ -428,6 +469,7 @@ def main(argv=None) -> int:
         "speedups": speedups,
         "seminaive_speedups": seminaive_speedups,
         "parallel_speedups": parallel_speedups,
+        "checkpoint_overheads": checkpoint_overheads,
         "acceptance": verdict,
     }
     Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
@@ -454,6 +496,13 @@ def main(argv=None) -> int:
             f"{s['serial_seconds']:>10.4f} {s['speedup']:>7.1f}x  "
             f"{s['identical_instances'] and s['identical_derivations']}"
         )
+    print(f"{'workload':<16} {'n':>4} {'cold s':>10} {'resumed s':>10} {'overhead':>8}  identical")
+    for r in checkpoint_overheads:
+        print(
+            f"{r['workload']:<16} {r['size']:>4} {r['cold_seconds']:>10.4f} "
+            f"{r['resumed_seconds']:>10.4f} {r['overhead_ratio']:>7.2f}x  "
+            f"{r['identical_instances'] and r['identical_derivations']}"
+        )
     parallel_note = (
         f"{verdict['min_parallel_speedup_at_largest']}x "
         f"(threshold {PARALLEL_SPEEDUP_THRESHOLD}x, workers={args.workers}, "
@@ -467,7 +516,10 @@ def main(argv=None) -> int:
         f"min semi-naive speedup is "
         f"{verdict['min_seminaive_speedup_at_largest']}x "
         f"(threshold {SEMINAIVE_SPEEDUP_THRESHOLD}x), "
-        f"min parallel speedup is {parallel_note} -> "
+        f"min parallel speedup is {parallel_note}, "
+        f"max checkpoint overhead is "
+        f"{verdict['max_checkpoint_overhead_at_largest']}x "
+        f"(threshold {CHECKPOINT_OVERHEAD_THRESHOLD}x) -> "
         f"{'PASS' if verdict['pass'] else 'FAIL'}"
     )
     return 0 if verdict["pass"] else 1

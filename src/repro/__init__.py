@@ -32,7 +32,10 @@ from repro.core.queries import ConjunctiveQuery
 from repro.core.schema import Schema
 from repro.core.substitution import Substitution
 from repro.core.terms import Constant, Null, Term, Variable
+from repro.chase.chaos import ChaosMatcher, ChaosPolicy, build_matcher
+from repro.chase.checkpoint import Budget, ChaseCheckpoint
 from repro.chase.derivation import Derivation, DerivationError
+from repro.chase.parallel import ParallelMatcher
 from repro.chase.fairness import FairnessError, fairness_round, make_fair
 from repro.chase.multihead import (
     MultiHeadTrigger,
@@ -56,6 +59,15 @@ from repro.chase.trigger import (
     is_active,
     seminaive_triggers,
     triggers_on,
+)
+from repro.errors import (
+    ChaseInterrupted,
+    CheckpointError,
+    ExtractionError,
+    ParallelDiscoveryError,
+    ReproError,
+    ResultIntegrityError,
+    StateBudgetExceeded,
 )
 from repro.guarded.abstract_join_tree import AbstractJoinTree, ajt_from_derivation
 from repro.guarded.chaseable import (
@@ -98,6 +110,14 @@ __all__ = [
     "TGD", "MultiHeadTGD", "parse_tgds", "guard_of", "is_guarded", "is_linear",
     "is_sticky", "StickinessAnalysis", "is_weakly_acyclic", "is_jointly_acyclic",
     "terminating_certificate",
+    # errors (repro.errors is the canonical home; aliases stay importable
+    # from each exception's historical module)
+    "ReproError", "ChaseInterrupted", "CheckpointError",
+    "ResultIntegrityError", "ParallelDiscoveryError",
+    "StateBudgetExceeded", "ExtractionError",
+    # fault tolerance
+    "Budget", "ChaseCheckpoint",
+    "ParallelMatcher", "ChaosMatcher", "ChaosPolicy", "build_matcher",
     # chase
     "Trigger", "triggers_on", "active_triggers_on", "is_active",
     "seminaive_triggers",

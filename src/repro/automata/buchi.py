@@ -12,11 +12,10 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.errors import StateBudgetExceeded
 from repro.util import graphs
 
-
-class StateBudgetExceeded(RuntimeError):
-    """Raised when exploration would materialize too many states."""
+__all__ = ["StateBudgetExceeded", "Lasso", "BuchiAutomaton"]
 
 
 class Lasso:

@@ -1,0 +1,159 @@
+"""Deterministic fault injection for the parallel discovery tier.
+
+The retry ladder in :class:`repro.chase.parallel.ParallelMatcher` claims
+that worker failures never change a chase's outcome — every fault either
+heals (task retry, fresh pool, thread fallback) or surfaces as a typed
+error, and the healed run is byte-identical to an undisturbed one.  This
+module makes that claim testable on demand: :class:`ChaosMatcher` injects
+failures by a *seeded schedule* at the exact seam real ones surface
+through (the master's result-collection hook), so a chaos run is fully
+reproducible from its seed.
+
+Three fault shapes, mirroring the real failure modes:
+
+* ``kill`` — raises ``BrokenProcessPool`` as if the worker died, driving
+  the fresh-pool rung (and, repeated, the thread fallback);
+* ``delay`` — sleeps before handing the result over, perturbing the
+  collection timeline without changing any data;
+* ``corrupt`` — appends a malformed row to the result, which
+  :func:`repro.chase.parallel._validate_rows` must reject, driving the
+  per-task retry rung.
+
+Faults are drawn master-side *after* the genuine result is in hand, so
+injection never leaves a worker wedged; and the thread fallback is never
+chaos'd, so every chaos run converges — byte-identically — or fails with
+a clean typed error.  The CI chaos job runs the equivalence suite under
+``CHASE_CHAOS_SEED`` (see :func:`build_matcher`).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from concurrent.futures.process import BrokenProcessPool
+from typing import Optional, Sequence
+
+from repro.chase.parallel import ParallelMatcher
+from repro.tgds.tgd import TGD
+
+#: Environment switch: a seed here makes :func:`build_matcher` hand out
+#: chaos'd matchers process-wide (the CI chaos job sets it).
+CHAOS_SEED_ENV = "CHASE_CHAOS_SEED"
+#: Optional per-fault rate overrides (floats in [0, 1]).
+CHAOS_KILL_ENV = "CHASE_CHAOS_KILL"
+CHAOS_DELAY_ENV = "CHASE_CHAOS_DELAY"
+CHAOS_CORRUPT_ENV = "CHASE_CHAOS_CORRUPT"
+
+
+class ChaosPolicy:
+    """A seeded fault schedule: one draw per collected task result.
+
+    The draw sequence is consumed in the master's deterministic collection
+    order, so the same seed replays the same faults at the same points —
+    a failing chaos run is reproducible from its seed alone.
+    """
+
+    def __init__(
+        self,
+        seed: int,
+        kill_rate: float = 0.2,
+        delay_rate: float = 0.2,
+        corrupt_rate: float = 0.2,
+        delay_seconds: float = 0.01,
+    ):
+        for name, rate in (
+            ("kill_rate", kill_rate),
+            ("delay_rate", delay_rate),
+            ("corrupt_rate", corrupt_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate!r}")
+        if kill_rate + delay_rate + corrupt_rate > 1.0:
+            raise ValueError("fault rates must sum to at most 1")
+        self.seed = seed
+        self.kill_rate = kill_rate
+        self.delay_rate = delay_rate
+        self.corrupt_rate = corrupt_rate
+        self.delay_seconds = delay_seconds
+        self._rng = random.Random(seed)
+
+    def draw(self) -> Optional[str]:
+        """The next scheduled fault: "kill", "delay", "corrupt", or None."""
+        roll = self._rng.random()
+        if roll < self.kill_rate:
+            return "kill"
+        roll -= self.kill_rate
+        if roll < self.delay_rate:
+            return "delay"
+        roll -= self.delay_rate
+        if roll < self.corrupt_rate:
+            return "corrupt"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"ChaosPolicy(seed={self.seed}, kill={self.kill_rate}, "
+            f"delay={self.delay_rate}, corrupt={self.corrupt_rate})"
+        )
+
+
+class ChaosMatcher(ParallelMatcher):
+    """A :class:`ParallelMatcher` that injects scheduled faults.
+
+    Overrides the result-collection hook only: planning, execution, and
+    the merge are the production code paths, so whatever survives chaos
+    is exactly what production would have computed.
+    """
+
+    def __init__(self, tgds: Sequence[TGD], policy: ChaosPolicy, **kwargs):
+        super().__init__(tgds, **kwargs)
+        self.policy = policy
+        #: Faults actually injected, by shape (tests assert chaos happened).
+        self.faults = {"kill": 0, "delay": 0, "corrupt": 0}
+
+    def _fetch(self, future, task_index: int):
+        # Wait for the genuine result first: a "killed" worker has already
+        # finished, so injection can never wedge the pool itself.
+        rows = future.result()
+        fault = self.policy.draw()
+        if fault == "kill":
+            self.faults["kill"] += 1
+            raise BrokenProcessPool(
+                f"chaos: worker killed while returning task {task_index}"
+            )
+        if fault == "delay":
+            self.faults["delay"] += 1
+            time.sleep(self.policy.delay_seconds)
+        elif fault == "corrupt":
+            self.faults["corrupt"] += 1
+            # A malformed extra row: _validate_rows must reject the batch.
+            return list(rows) + [("chaos", "corrupt")]
+        return rows
+
+
+def _env_rate(name: str, default: float) -> float:
+    value = os.environ.get(name)
+    return default if value is None else float(value)
+
+
+def build_matcher(
+    tgds: Sequence[TGD], workers: int = 1, backend: str = "process", **kwargs
+) -> ParallelMatcher:
+    """The chase loops' matcher factory: production by default, chaos'd
+    when ``CHASE_CHAOS_SEED`` is set (the CI fault-injection job's hook).
+
+    Chaos only bites the process backend — the thread and serial paths are
+    the fault *recovery* targets and stay clean — so a chaos'd chase still
+    terminates with the production answer or a typed failure.
+    """
+    seed = os.environ.get(CHAOS_SEED_ENV)
+    if seed:
+        policy = ChaosPolicy(
+            seed=int(seed),
+            kill_rate=_env_rate(CHAOS_KILL_ENV, 0.2),
+            delay_rate=_env_rate(CHAOS_DELAY_ENV, 0.2),
+            corrupt_rate=_env_rate(CHAOS_CORRUPT_ENV, 0.2),
+        )
+        return ChaosMatcher(tgds, policy, workers=workers, backend=backend, **kwargs)
+    return ParallelMatcher(tgds, workers=workers, backend=backend, **kwargs)

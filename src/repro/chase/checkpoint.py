@@ -1,0 +1,336 @@
+"""Budgets and checkpoints: stop a chase, carry it around, resume it.
+
+The fault-tolerance contract (ROADMAP: "chase-as-a-service with incremental
+resume") has two halves:
+
+* :class:`Budget` — a first-class resource envelope (wall-clock seconds,
+  instance atoms, trigger applications, rounds) threaded through
+  :meth:`repro.chase.engine.ChaseEngine.run_round` and the chase entry
+  points.  Exhaustion is *graceful*: the loop raises
+  :class:`repro.errors.ChaseInterrupted` carrying the partial instance and
+  a checkpoint — the engine is suspended, never poisoned.
+
+* :class:`ChaseCheckpoint` — a picklable snapshot of everything a
+  deterministic chase needs to continue byte-identically: the instance's
+  insertion-ordered atom list (index-identical rebuild, like
+  ``Instance.__reduce__``), the pending worklist in order, the dedup-seen
+  trigger keys, a mid-round delta (atoms with birth positions plus the
+  insertion counter) when the cut fell inside a round, and the loop
+  counters (derivation steps, rounds, applications).  Everything else the
+  engine holds — the head-witness cache, the per-predicate indexes — is a
+  pure function of the instance and is rebuilt on restore.
+
+Why resume is byte-identical: the semi-naive engines derive every ordering
+decision from (a) instance insertion order, (b) worklist order, and (c)
+per-trigger digest-based null invention.  (a) and (b) are restored exactly;
+(c) depends only on the TGD set, which :meth:`ChaseCheckpoint.restore_engine`
+verifies by digest prefix.  A checkpoint taken mid-round keeps the live
+delta (same birth counters), so the completed round's discovery pass sees
+exactly the atoms — in exactly the order — an uninterrupted round would
+have seen.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.instance import Delta, Instance
+from repro.chase.engine import ChaseEngine
+from repro.chase.trigger import Trigger
+from repro.errors import CheckpointError
+from repro.tgds.tgd import TGD
+
+#: Bumped when the snapshot layout changes; restore refuses other versions.
+CHECKPOINT_VERSION = 1
+
+
+class Budget:
+    """A resource envelope for one chase (or decider) run.
+
+    All limits are optional; ``None`` means unlimited.  ``wall_seconds`` is
+    measured from :meth:`start` (armed once, idempotent); ``max_atoms`` is
+    an absolute instance size; ``max_applications`` and ``max_rounds``
+    count consumption *charged through this object*, so one budget threaded
+    through several loops (decider tiers) is a shared envelope, not a
+    per-loop allowance.
+
+    The budget records where it stopped a run (``"budget:wall"``,
+    ``"budget:atoms"``, ``"budget:applications"``, ``"budget:rounds"``) —
+    the ``reason`` carried by :class:`repro.errors.ChaseInterrupted`.
+    """
+
+    __slots__ = (
+        "wall_seconds",
+        "max_atoms",
+        "max_applications",
+        "max_rounds",
+        "applications",
+        "rounds",
+        "_deadline",
+    )
+
+    def __init__(
+        self,
+        wall_seconds: Optional[float] = None,
+        max_atoms: Optional[int] = None,
+        max_applications: Optional[int] = None,
+        max_rounds: Optional[int] = None,
+    ):
+        for name, value in (
+            ("wall_seconds", wall_seconds),
+            ("max_atoms", max_atoms),
+            ("max_applications", max_applications),
+            ("max_rounds", max_rounds),
+        ):
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value!r}")
+        self.wall_seconds = wall_seconds
+        self.max_atoms = max_atoms
+        self.max_applications = max_applications
+        self.max_rounds = max_rounds
+        #: Applications charged so far (across every loop sharing the budget).
+        self.applications = 0
+        #: Completed rounds charged so far.
+        self.rounds = 0
+        self._deadline: Optional[float] = None
+
+    # -- arming ------------------------------------------------------------
+
+    def start(self) -> "Budget":
+        """Arm the wall clock (first call wins; later calls are no-ops)."""
+        if self.wall_seconds is not None and self._deadline is None:
+            self._deadline = time.monotonic() + self.wall_seconds
+        return self
+
+    # -- checks ------------------------------------------------------------
+
+    def out_of_time(self) -> bool:
+        return self._deadline is not None and time.monotonic() >= self._deadline
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds until the wall deadline (None if no wall limit is set)."""
+        if self.wall_seconds is None:
+            return None
+        if self._deadline is None:
+            return self.wall_seconds
+        return max(0.0, self._deadline - time.monotonic())
+
+    def exceeded(self, atom_count: Optional[int] = None) -> Optional[str]:
+        """The reason this budget is exhausted, or None if it is not.
+
+        Checked by the engine before every application and by the loops at
+        every round boundary; the first limit to bind names the reason.
+        """
+        if self.out_of_time():
+            return "budget:wall"
+        if (
+            self.max_applications is not None
+            and self.applications >= self.max_applications
+        ):
+            return "budget:applications"
+        if (
+            atom_count is not None
+            and self.max_atoms is not None
+            and atom_count >= self.max_atoms
+        ):
+            return "budget:atoms"
+        return None
+
+    def rounds_exhausted(self) -> bool:
+        return self.max_rounds is not None and self.rounds >= self.max_rounds
+
+    # -- charging ----------------------------------------------------------
+
+    def charge_application(self) -> None:
+        self.applications += 1
+
+    def charge_round(self) -> None:
+        self.rounds += 1
+
+    def __repr__(self) -> str:
+        limits = ", ".join(
+            f"{name}={getattr(self, name)}"
+            for name in ("wall_seconds", "max_atoms", "max_applications", "max_rounds")
+            if getattr(self, name) is not None
+        )
+        return f"Budget({limits or 'unlimited'})"
+
+
+class ChaseCheckpoint:
+    """A picklable, resumable snapshot of one chase run.
+
+    Produced by :meth:`capture` at any round boundary or budget cut;
+    consumed by ``resume=`` on ``restricted_chase`` / ``seminaive_chase`` /
+    ``oblivious_chase`` (which delegate to :meth:`restore_engine`).  The
+    ``kind`` string pins the loop the snapshot came from (``"semi_naive"``,
+    ``"restricted:fifo"``, ``"restricted:lifo"``, ``"oblivious"``) so a
+    checkpoint cannot silently resume under different semantics.
+    """
+
+    __slots__ = (
+        "version",
+        "kind",
+        "tgd_digests",
+        "atoms",
+        "pending",
+        "seen",
+        "delta",
+        "initial_atoms",
+        "derivation_steps",
+        "steps",
+        "rounds",
+        "applications",
+        "track_witnesses",
+    )
+
+    def __init__(
+        self,
+        kind: str,
+        tgd_digests: List[str],
+        atoms: list,
+        pending: List[Trigger],
+        seen: list,
+        delta: Optional[Tuple[list, int]],
+        initial_atoms: Optional[list],
+        derivation_steps: Optional[List[Trigger]],
+        steps: int,
+        rounds: int,
+        applications: int,
+        track_witnesses: bool,
+        version: int = CHECKPOINT_VERSION,
+    ):
+        self.version = version
+        self.kind = kind
+        self.tgd_digests = tgd_digests
+        #: Instance atoms in insertion order (index-identical rebuild).
+        self.atoms = atoms
+        #: The worklist, in order.
+        self.pending = pending
+        #: Keys of every trigger ever enqueued (the dedup set).
+        self.seen = seen
+        #: ``(snapshot items, counter)`` of a live mid-round delta, or None
+        #: when the checkpoint sits on a round boundary.
+        self.delta = delta
+        #: The original database's atoms (rebuilds ``Derivation.initial``);
+        #: None for derivation-free loops (oblivious).
+        self.initial_atoms = initial_atoms
+        #: Applied triggers so far, in order (the derivation log prefix).
+        self.derivation_steps = derivation_steps
+        self.steps = steps
+        #: Completed rounds (an interrupted round is *not* counted; its
+        #: completion on resume charges it exactly once).
+        self.rounds = rounds
+        self.applications = applications
+        self.track_witnesses = track_witnesses
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (
+                self.kind,
+                self.tgd_digests,
+                self.atoms,
+                self.pending,
+                self.seen,
+                self.delta,
+                self.initial_atoms,
+                self.derivation_steps,
+                self.steps,
+                self.rounds,
+                self.applications,
+                self.track_witnesses,
+                self.version,
+            ),
+        )
+
+    # -- producing ---------------------------------------------------------
+
+    @classmethod
+    def capture(
+        cls,
+        engine: ChaseEngine,
+        kind: str,
+        derivation=None,
+        steps: int = 0,
+        rounds: int = 0,
+        applications: int = 0,
+    ) -> "ChaseCheckpoint":
+        """Snapshot a (possibly mid-round) engine plus its loop counters."""
+        delta = engine._round_delta
+        return cls(
+            kind=kind,
+            tgd_digests=[t.digest_prefix() for t in engine.tgds],
+            atoms=list(engine.instance),
+            pending=list(engine.pending),
+            seen=list(engine._seen),
+            delta=(delta.snapshot(), delta._counter) if delta is not None else None,
+            initial_atoms=(
+                list(derivation.initial) if derivation is not None else None
+            ),
+            derivation_steps=(
+                list(derivation.steps) if derivation is not None else None
+            ),
+            steps=steps,
+            rounds=rounds,
+            applications=applications,
+            track_witnesses=engine.witnesses is not None,
+        )
+
+    # -- restoring ---------------------------------------------------------
+
+    def require_kind(self, kind: str) -> None:
+        if self.kind != kind:
+            raise CheckpointError(
+                f"checkpoint was taken by a {self.kind!r} chase; "
+                f"cannot resume it as {kind!r}"
+            )
+
+    def restore_engine(self, tgds: Sequence[TGD], matcher=None) -> ChaseEngine:
+        """Rebuild a suspended :class:`ChaseEngine` from this snapshot.
+
+        Validates the TGD set by digest prefix (null invention depends on
+        rule *names*, so an equal-modulo-renaming set would silently break
+        byte-identity — same guard as the engine's matcher check).
+        """
+        if self.version != CHECKPOINT_VERSION:
+            raise CheckpointError(
+                f"checkpoint version {self.version} is not supported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        tgds = tuple(tgds)
+        if [t.digest_prefix() for t in tgds] != list(self.tgd_digests):
+            raise CheckpointError(
+                "checkpoint was taken for a different TGD set "
+                "(digest prefixes differ)"
+            )
+        delta = None
+        if self.delta is not None:
+            items, counter = self.delta
+            delta = Delta._restore(items, counter)
+        return ChaseEngine._restore(
+            tgds=tgds,
+            atoms=self.atoms,
+            pending=self.pending,
+            seen=self.seen,
+            round_delta=delta,
+            track_witnesses=self.track_witnesses,
+            matcher=matcher,
+        )
+
+    def restore_derivation(self):
+        """Rebuild the derivation log prefix recorded in this checkpoint."""
+        from repro.chase.derivation import Derivation
+
+        if self.initial_atoms is None:
+            raise CheckpointError(
+                f"{self.kind!r} checkpoints carry no derivation log"
+            )
+        return Derivation(Instance(self.initial_atoms), self.derivation_steps)
+
+    def __repr__(self) -> str:
+        mid = "mid-round" if self.delta is not None else "round boundary"
+        return (
+            f"ChaseCheckpoint({self.kind}, {len(self.atoms)} atoms, "
+            f"{len(self.pending)} pending, {mid}, steps={self.steps})"
+        )

@@ -16,11 +16,10 @@ from repro.core.atoms import Atom
 from repro.core.homomorphism import is_homomorphism
 from repro.core.instance import Instance
 from repro.chase.trigger import Trigger, active_triggers_on, is_active, triggers_on
+from repro.errors import DerivationError
 from repro.tgds.tgd import TGD
 
-
-class DerivationError(ValueError):
-    """Raised when a recorded derivation violates the chase rules."""
+__all__ = ["Derivation", "DerivationError"]
 
 
 class Derivation:

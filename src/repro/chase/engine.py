@@ -55,6 +55,19 @@ from repro.chase.trigger import (
 from repro.tgds.tgd import TGD
 
 
+def _check_matcher(matcher, tgds: Tuple[TGD, ...]) -> None:
+    """Reject a matcher built for a different TGD set.
+
+    Compares digest prefixes, not TGD equality: equality ignores rule names
+    while null invention depends on them, so a renamed-but-equal matcher
+    set would silently break byte-identity.
+    """
+    if matcher is not None and [t.digest_prefix() for t in matcher.tgds] != [
+        t.digest_prefix() for t in tgds
+    ]:
+        raise ValueError("matcher was built for a different TGD set")
+
+
 class HeadWitnessIndex:
     """Frontier-binding tuples whose head is already witnessed, per TGD.
 
@@ -144,25 +157,34 @@ class ApplyToken:
 
 
 class RoundResult:
-    """What one semi-naive :meth:`ChaseEngine.run_round` did."""
+    """What one semi-naive :meth:`ChaseEngine.run_round` call did."""
 
-    __slots__ = ("applied", "delta", "discovered", "cut")
+    __slots__ = ("applied", "delta", "discovered", "cut", "reason")
 
-    def __init__(self, applied, delta, discovered, cut):
-        #: Triggers applied this round, in application order.  With the
+    def __init__(self, applied, delta, discovered, cut, reason=None):
+        #: Triggers applied this call, in application order.  With the
         #: witness cache enabled these are exactly the still-active batch
         #: triggers; without it, every processed batch trigger.
         self.applied = applied
-        #: Atoms the round added, in insertion order (the next round's seed).
+        #: Atoms this call added, in insertion order.  When a cut split a
+        #: round across calls, each call reports only its own additions —
+        #: the callers' application tallies sum correctly either way.
         self.delta = delta
         #: Triggers the round's batched discovery enqueued, in enqueue order.
         self.discovered = discovered
-        #: True iff a budget stopped the round early (tail re-queued,
-        #: discovery skipped — the caller is expected to abort the run).
+        #: True iff a budget stopped the round early.  The unprocessed tail
+        #: is re-queued in order and the round's delta stays live: the next
+        #: ``run_round`` call *continues the same logical round*, so callers
+        #: may abort, checkpoint, or simply keep going — nothing is lost.
         self.cut = cut
+        #: Which limit cut the round: ``"max_applications"`` /
+        #: ``"max_atoms"`` for the legacy per-call caps, a ``"budget:*"``
+        #: string for a :class:`repro.chase.checkpoint.Budget`; None when
+        #: the round completed.
+        self.reason = reason
 
     def __repr__(self) -> str:
-        state = "cut" if self.cut else "complete"
+        state = f"cut:{self.reason}" if self.cut else "complete"
         return (
             f"RoundResult({state}: {len(self.applied)} applied, "
             f"{len(self.delta)} new atoms, {len(self.discovered)} discovered)"
@@ -191,13 +213,7 @@ class ChaseEngine:
         #: Optional :class:`repro.chase.parallel.ParallelMatcher`; when set,
         #: run_round's batched discovery fans out over its worker pool
         #: (byte-identical results — see chase/parallel.py's merge argument).
-        #: The guard compares digest prefixes, not TGD equality: equality
-        #: ignores rule names while null invention depends on them, so a
-        #: renamed-but-equal matcher set would silently break byte-identity.
-        if matcher is not None and [t.digest_prefix() for t in matcher.tgds] != [
-            t.digest_prefix() for t in self.tgds
-        ]:
-            raise ValueError("matcher was built for a different TGD set")
+        _check_matcher(matcher, self.tgds)
         self.matcher = matcher
         if isinstance(database, Instance):
             seed_atoms = database.sorted_atoms()
@@ -209,9 +225,49 @@ class ChaseEngine:
         )
         self._seen: Set[tuple] = set()
         self.pending: List[Trigger] = []
-        #: Set once a run_round budget cut discards a delta; see run_round.
-        self._cut = False
+        #: The live delta of a round in progress.  Non-None between a budget
+        #: cut and the call that completes the round — the suspended state a
+        #: checkpoint carries and ``run_round`` continues from.
+        self._round_delta = None
         self._enqueue(triggers_on(self.tgds, self.instance))
+
+    @classmethod
+    def _restore(
+        cls,
+        tgds: Tuple[TGD, ...],
+        atoms,
+        pending,
+        seen,
+        round_delta,
+        track_witnesses: bool,
+        matcher=None,
+    ) -> "ChaseEngine":
+        """Rebuild a (possibly mid-round) engine from checkpoint state.
+
+        Bypasses ``__init__``'s seeding discovery: the worklist and dedup
+        set arrive from the snapshot.  The head-witness cache and the
+        instance indexes are pure functions of the insertion-ordered atom
+        list, so rebuilding them lands on index-identical state — see
+        chase/checkpoint.py for the byte-identity argument.
+        """
+        engine = cls.__new__(cls)
+        engine.tgds = tgds
+        _check_matcher(matcher, tgds)
+        engine.matcher = matcher
+        engine.instance = Instance(atoms)
+        engine.witnesses = (
+            HeadWitnessIndex(tgds, engine.instance) if track_witnesses else None
+        )
+        engine._seen = set(seen)
+        engine.pending = list(pending)
+        engine._round_delta = round_delta
+        if round_delta is not None:
+            engine.instance.resume_delta(round_delta)
+        return engine
+
+    def mid_round(self) -> bool:
+        """Is a budget-cut round suspended (delta live, discovery pending)?"""
+        return self._round_delta is not None
 
     # -- worklist ----------------------------------------------------------
 
@@ -274,6 +330,7 @@ class ChaseEngine:
         self,
         max_applications: Optional[int] = None,
         max_atoms: Optional[int] = None,
+        budget=None,
     ) -> RoundResult:
         """One set-at-a-time chase round over the whole pending batch.
 
@@ -290,51 +347,71 @@ class ChaseEngine:
         engine would have produced, which keeps round-based runs
         byte-identical to step-at-a-time runs.
 
-        ``max_applications`` bounds the number of applications this round
-        (for the caller's global step budget); ``max_atoms`` aborts once the
-        instance outgrows the bound.  A budget violation re-queues the
-        unprocessed tail in order, skips discovery, and sets ``cut`` — the
-        cut round's delta is *discarded*, so the run cannot be resumed:
-        every caller must abort on ``cut``, and a further ``run_round``
-        call raises rather than silently losing the undiscovered triggers.
+        ``max_applications`` bounds the applications of this call (the
+        caller's per-run step budget); ``max_atoms`` stops once the instance
+        outgrows the bound; ``budget`` is an optional
+        :class:`repro.chase.checkpoint.Budget` checked before every
+        application (wall clock, cumulative applications, absolute atoms).
+        A violation re-queues the unprocessed tail in order, skips
+        discovery, and sets ``cut`` — but the round's delta stays *live*:
+        the engine is suspended, not poisoned.  A later ``run_round``
+        continues the same logical round (same delta, same birth counters),
+        so the eventual discovery pass is byte-identical to an uncut
+        round's; :meth:`repro.chase.checkpoint.ChaseCheckpoint.capture` can
+        snapshot the suspension for out-of-process resume.
+
+        If the discovery pass itself fails (a
+        :class:`repro.errors.ParallelDiscoveryError` after the matcher's
+        whole fallback ladder), the round stays suspended with its delta
+        intact — swap the matcher and call ``run_round`` again.
         """
-        if self._cut:
-            raise RuntimeError(
-                "run_round after a budget cut: the cut round's delta was "
-                "discarded, so resuming would miss its triggers — abort the "
-                "run (or rebuild the engine) instead"
-            )
+        if self._round_delta is None:
+            self._round_delta = self.instance.track_delta()
+        delta = self._round_delta
+        start = len(delta)
         batch = self.take_pending()
         applied: List[Trigger] = []
         cut = False
-        self.instance.track_delta()
+        reason: Optional[str] = None
         witnesses = self.witnesses
         for index, trigger in enumerate(batch):
             if max_applications is not None and len(applied) >= max_applications:
                 self.pending = batch[index:] + self.pending
-                cut = True
+                cut, reason = True, "max_applications"
                 break
+            if budget is not None:
+                reason = budget.exceeded(len(self.instance))
+                if reason is not None:
+                    self.pending = batch[index:] + self.pending
+                    cut = True
+                    break
             if witnesses is not None and witnesses.witnessed(trigger):
                 continue
             atom = trigger.result()
             if self.instance.add(atom) and witnesses is not None:
                 witnesses.note(atom)
             applied.append(trigger)
+            if budget is not None:
+                budget.charge_application()
             if max_atoms is not None and len(self.instance) > max_atoms:
                 self.pending = batch[index + 1:] + self.pending
-                cut = True
+                cut, reason = True, "max_atoms"
                 break
-        delta = self.instance.take_delta()
-        discovered: List[Trigger] = []
+        added = delta.atoms()[start:]
         if cut:
-            self._cut = True
-        elif delta:
+            return RoundResult(applied, added, [], cut=True, reason=reason)
+        discovered: List[Trigger] = []
+        if delta:
+            # Discover while the delta is still attached: on a matcher
+            # failure the suspended state survives for a retry.
             if self.matcher is not None:
                 batch = self.matcher.discover(self.instance, delta)
             else:
                 batch = seminaive_triggers(self.tgds, self.instance, delta)
             discovered = self._enqueue(batch, presorted=True)
-        return RoundResult(applied, delta.atoms(), discovered, cut)
+        self.instance.take_delta()
+        self._round_delta = None
+        return RoundResult(applied, added, discovered, cut=False)
 
     def undo(self, token: ApplyToken) -> None:
         """Revert one :meth:`apply` (strict LIFO discipline).

@@ -25,13 +25,10 @@ from repro.chase.derivation import Derivation, DerivationError
 from repro.chase.relations import stops_atom
 from repro.chase.restricted import restricted_chase
 from repro.chase.trigger import Trigger, active_triggers_on, is_active
+from repro.errors import FairnessError
 from repro.tgds.tgd import TGD
 
-
-class FairnessError(RuntimeError):
-    """Raised when the construction cannot proceed (theory violated or
-
-    the prefix horizon is too short to exhibit the required structure)."""
+__all__ = ["FairnessError", "fairness_round", "make_fair"]
 
 
 def derivation_prefix(

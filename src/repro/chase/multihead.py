@@ -18,6 +18,8 @@ from repro.core.homomorphism import find_homomorphism, homomorphisms
 from repro.core.instance import Instance
 from repro.core.substitution import Substitution
 from repro.core.terms import Null, Term
+from repro.chase.checkpoint import Budget
+from repro.errors import ChaseInterrupted, SearchBudgetExceeded
 from repro.tgds.tgd import MultiHeadTGD
 
 
@@ -136,12 +138,30 @@ class MultiHeadChaseResult:
         return f"MultiHeadChaseResult({state}, {self.steps} steps)"
 
 
+def _multihead_budget_check(
+    budget: Optional[Budget], instance: Instance, applied: List[MultiHeadTrigger]
+) -> None:
+    """Raise :class:`ChaseInterrupted` when a budget limit binds.
+
+    Multi-head runs carry no checkpoint (the loop has no engine worklist to
+    snapshot); the partial instance and step count still ride along.
+    """
+    if budget is None:
+        return
+    reason = budget.exceeded(len(instance))
+    if reason is not None:
+        raise ChaseInterrupted(
+            reason, instance=instance, partial={"steps": len(applied)}
+        )
+
+
 def multihead_restricted_chase(
     database: Instance,
     tgds: Sequence[MultiHeadTGD],
     strategy: Union[str, int] = "fifo",
     max_steps: int = 1_000,
     seed: Optional[int] = None,
+    budget: Optional[Budget] = None,
 ) -> MultiHeadChaseResult:
     """Restricted chase with multi-head TGDs.
 
@@ -152,14 +172,21 @@ def multihead_restricted_chase(
     fair strategy by construction), or an integer ``k`` meaning "always
     pick the active trigger whose TGD has index k, else the first" — the
     knob Example B.1 needs to force unfair behavior.
+
+    ``budget`` exhaustion raises :class:`repro.errors.ChaseInterrupted`
+    carrying the partial instance (no checkpoint: multi-head runs are not
+    resumable yet).
     """
     if strategy == "semi_naive":
-        return _seminaive_multihead_chase(database, tgds, max_steps)
+        return _seminaive_multihead_chase(database, tgds, max_steps, budget=budget)
+    if budget is not None:
+        budget.start()
     rng = random.Random(seed)
     instance = Instance(database.atoms())
     applied: List[MultiHeadTrigger] = []
     tgd_list = list(tgds)
     while len(applied) < max_steps:
+        _multihead_budget_check(budget, instance, applied)
         candidates = active_multihead_triggers_on(tgd_list, instance)
         if not candidates:
             return MultiHeadChaseResult(instance, applied, terminated=True)
@@ -179,6 +206,8 @@ def multihead_restricted_chase(
         for atom in trigger.results():
             instance.add(atom)
         applied.append(trigger)
+        if budget is not None:
+            budget.charge_application()
     return MultiHeadChaseResult(instance, applied, terminated=False)
 
 
@@ -186,6 +215,7 @@ def _seminaive_multihead_chase(
     database: Instance,
     tgds: Sequence[MultiHeadTGD],
     max_steps: int,
+    budget: Optional[Budget] = None,
 ) -> MultiHeadChaseResult:
     """Set-at-a-time rounds for multi-head TGDs.
 
@@ -197,21 +227,27 @@ def _seminaive_multihead_chase(
     round may witness later members' heads.  Every active trigger is
     applied or deactivated each round, so the run is fair.
     """
+    if budget is not None:
+        budget.start()
     instance = Instance(database.atoms())
     applied: List[MultiHeadTrigger] = []
     tgd_list = list(tgds)
     while len(applied) < max_steps:
+        _multihead_budget_check(budget, instance, applied)
         candidates = active_multihead_triggers_on(tgd_list, instance)
         if not candidates:
             return MultiHeadChaseResult(instance, applied, terminated=True)
         for trigger in candidates:
             if len(applied) >= max_steps:
                 return MultiHeadChaseResult(instance, applied, terminated=False)
+            _multihead_budget_check(budget, instance, applied)
             if not is_active_multihead(trigger, instance):
                 continue
             for atom in trigger.results():
                 instance.add(atom)
             applied.append(trigger)
+            if budget is not None:
+                budget.charge_application()
     return MultiHeadChaseResult(instance, applied, terminated=False)
 
 
@@ -225,7 +261,8 @@ def multihead_exists_derivation_of_length(
 
     Returns the trigger sequence or None when every derivation is shorter
     (exhaustively verified within ``max_nodes`` states); raises
-    ``RuntimeError`` when the budget is exhausted first.
+    :class:`repro.errors.SearchBudgetExceeded` when the node budget is
+    exhausted first.
     """
     budget = [max_nodes]
     failed_at: Dict[frozenset, int] = {}
@@ -234,7 +271,9 @@ def multihead_exists_derivation_of_length(
         if len(steps) >= length:
             return list(steps)
         if budget[0] <= 0:
-            raise RuntimeError(f"explored {max_nodes} states without an answer")
+            raise SearchBudgetExceeded(
+                f"explored {max_nodes} states without an answer"
+            )
         budget[0] -= 1
         state = frozenset(instance.atoms())
         if failed_at.get(state, -1) >= len(steps):

@@ -11,10 +11,12 @@ with the witness cache disabled).
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.core.instance import Instance
+from repro.chase.checkpoint import Budget, ChaseCheckpoint
 from repro.chase.engine import ChaseEngine
+from repro.errors import ChaseInterrupted
 from repro.tgds.tgd import TGD
 
 
@@ -40,13 +42,15 @@ class ObliviousResult:
 
 
 def oblivious_chase(
-    database: Instance,
+    database: Optional[Instance],
     tgds: Sequence[TGD],
     max_atoms: int = 100_000,
     max_rounds: int = 10_000,
     strategy: str = "semi_naive",
     workers: int = 1,
     parallel_backend: str = "process",
+    budget: Optional[Budget] = None,
+    resume: Optional[ChaseCheckpoint] = None,
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
@@ -64,29 +68,69 @@ def oblivious_chase(
       rounds — the merge replays the serial order);
     * ``"per_trigger"`` — the pre-batching loop: one discovery pass per
       applied trigger (kept as the ablation baseline).
+
+    ``budget`` exhaustion raises :class:`repro.errors.ChaseInterrupted`
+    with a resume checkpoint; ``resume`` continues one byte-identically
+    (``database`` is then ignored).  Both require ``"semi_naive"``.
     """
+    if (budget is not None or resume is not None) and strategy != "semi_naive":
+        raise ValueError(
+            "budgets and resume require the semi_naive oblivious strategy"
+        )
     matcher = None
     if strategy == "semi_naive" and workers > 1:
-        from repro.chase.parallel import ParallelMatcher
+        from repro.chase.chaos import build_matcher
 
-        matcher = ParallelMatcher(tgds, workers=workers, backend=parallel_backend)
-    engine = ChaseEngine(database, tgds, track_witnesses=False, matcher=matcher)
-    applications = 0
-    rounds = 0
+        matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
+    if resume is not None:
+        resume.require_kind("oblivious")
+        engine = resume.restore_engine(tgds, matcher=matcher)
+        applications = resume.applications
+        rounds = resume.rounds
+    else:
+        engine = ChaseEngine(database, tgds, track_witnesses=False, matcher=matcher)
+        applications = 0
+        rounds = 0
+    if budget is not None:
+        budget.start()
     if strategy == "semi_naive":
+
+        def interrupt(reason: str):
+            raise ChaseInterrupted(
+                reason,
+                checkpoint=ChaseCheckpoint.capture(
+                    engine, "oblivious", rounds=rounds, applications=applications
+                ),
+                instance=engine.instance,
+                partial={"rounds": rounds, "applications": applications},
+            )
+
         try:
-            while engine.pending:
+            while engine.pending or engine.mid_round():
                 if rounds >= max_rounds or len(engine.instance) > max_atoms:
                     return ObliviousResult(
                         engine.instance, False, rounds, applications
                     )
-                rounds += 1
-                round_result = engine.run_round(max_atoms=max_atoms)
+                if budget is not None:
+                    if budget.rounds_exhausted():
+                        interrupt("budget:rounds")
+                    reason = budget.exceeded(len(engine.instance))
+                    if reason is not None:
+                        interrupt(reason)
+                if not engine.mid_round():
+                    # A resumed mid-round continuation was already counted
+                    # by the call that started the round.
+                    rounds += 1
+                round_result = engine.run_round(max_atoms=max_atoms, budget=budget)
                 applications += len(round_result.delta)
                 if round_result.cut:
-                    return ObliviousResult(
-                        engine.instance, False, rounds, applications
-                    )
+                    if round_result.reason == "max_atoms":
+                        return ObliviousResult(
+                            engine.instance, False, rounds, applications
+                        )
+                    interrupt(round_result.reason)
+                if budget is not None:
+                    budget.charge_round()
             return ObliviousResult(engine.instance, True, rounds, applications)
         finally:
             if matcher is not None:

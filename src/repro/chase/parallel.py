@@ -41,16 +41,22 @@ fallback ladder.
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import threading
-import warnings
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.instance import Instance
 from repro.chase.trigger import Trigger, match_pivot_bucket, seminaive_triggers
+from repro.errors import ParallelDiscoveryError, ResultIntegrityError
 from repro.tgds.tgd import TGD
+
+#: Structured fault/fallback events (worker retries, fresh pools, backend
+#: degradation) are emitted here; tests and operators subscribe by name.
+_LOGGER = logging.getLogger("repro.chase.parallel")
 
 #: Errors that mean "the pool could not run", triggering the threaded
 #: fallback.  OSError covers fork/pipe/resource failures (including
@@ -147,6 +153,37 @@ def _discover_task(chunks) -> List[tuple]:
     return _match_chunks(tgds, instance, delta, chunks)
 
 
+def _validate_rows(tgds: Sequence[TGD], rows) -> None:
+    """Reject malformed worker results before they reach the merge.
+
+    A worker that came back at all usually came back right — but a chaos
+    run (or a genuinely corrupted pipe) can hand the master garbage, and a
+    bad row would silently poison the ``(birth, canonical_key)`` merge.
+    Shape-checks every row: ``(tgd_index, values, birth)`` with a valid TGD
+    index and the binding arity that TGD's :func:`_body_order` demands.
+    """
+    if not isinstance(rows, list):
+        raise ResultIntegrityError(
+            f"worker returned {type(rows).__name__}, expected a row list"
+        )
+    orders: Dict[TGD, tuple] = {}
+    for row in rows:
+        if not (isinstance(row, tuple) and len(row) == 3):
+            raise ResultIntegrityError(f"malformed worker row {row!r}")
+        tgd_index, values, birth = row
+        if not (isinstance(tgd_index, int) and 0 <= tgd_index < len(tgds)):
+            raise ResultIntegrityError(f"worker row has bad TGD index {tgd_index!r}")
+        if not isinstance(birth, int):
+            raise ResultIntegrityError(f"worker row has bad birth {birth!r}")
+        if not isinstance(values, tuple) or len(values) != len(
+            _body_order(tgds[tgd_index], orders)
+        ):
+            raise ResultIntegrityError(
+                f"worker row binding {values!r} does not match the body "
+                f"arity of TGD #{tgd_index}"
+            )
+
+
 class ParallelMatcher:
     """Fan semi-naive discovery batches out over a worker pool.
 
@@ -159,9 +196,19 @@ class ParallelMatcher:
 
     ``backend`` is ``"process"`` (default; requires the ``fork`` start
     method, silently degrading to threads where it is missing),
-    ``"thread"``, or ``"serial"``.  A process-pool failure mid-run warns
-    once and pins the matcher to the threaded backend — results are
-    recomputed, never half-merged.
+    ``"thread"``, or ``"serial"``.
+
+    Failures climb a retry ladder before anything run-wide changes:
+
+    1. a task that fails on its own (bad result shape, a worker exception)
+       is resubmitted to the same pool up to ``retries`` times with
+       exponential backoff;
+    2. a *pool-level* failure (broken pool, fork/pipe errors) rebuilds the
+       pool once and re-runs only the unfinished tasks;
+    3. a second pool-level failure logs a structured event and pins the
+       matcher to the threaded backend — results are recomputed, never
+       half-merged (tasks are pure functions of the round state, so a
+       retried chunk is byte-identical to a first-try chunk).
     """
 
     def __init__(
@@ -171,6 +218,8 @@ class ParallelMatcher:
         backend: str = "process",
         min_parallel_work: Optional[int] = None,
         chunks_per_worker: int = 4,
+        retries: int = 2,
+        retry_backoff: float = 0.05,
     ):
         if backend not in ("process", "thread", "serial"):
             raise ValueError(f"unknown parallel backend {backend!r}")
@@ -188,10 +237,17 @@ class ParallelMatcher:
             DEFAULT_MIN_PARALLEL_WORK if min_parallel_work is None else min_parallel_work
         )
         self.chunks_per_worker = max(1, chunks_per_worker)
+        #: Per-task resubmissions before the failure escalates pool-wide.
+        self.retries = max(0, int(retries))
+        #: Base of the exponential backoff between task resubmissions.
+        self.retry_backoff = retry_backoff
         self._thread_pool: Optional[ThreadPoolExecutor] = None
         #: Observability counters (tests assert the pool actually ran).
         self.rounds_parallel = 0
         self.rounds_serial = 0
+        #: Fault counters: task resubmissions and pool rebuilds survived.
+        self.chunk_retries = 0
+        self.fresh_pools = 0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -248,18 +304,86 @@ class ParallelMatcher:
 
     # -- execution ---------------------------------------------------------
 
+    def _fetch(self, future, task_index: int):
+        """Collect one task result.  The chaos harness overrides this hook
+        (:class:`repro.chase.chaos.ChaosMatcher`) to inject failures at the
+        exact seam real ones surface through."""
+        return future.result()
+
     def _run_process(self, instance: Instance, delta, tasks) -> List[list]:
         global _FORK_STATE
         context = multiprocessing.get_context("fork")
         with _FORK_LOCK:
             _FORK_STATE = (self.tgds, instance, delta)
             try:
-                with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(tasks)), mp_context=context
-                ) as pool:
-                    return list(pool.map(_discover_task, tasks))
+                return self._drain_process(context, tasks)
             finally:
                 _FORK_STATE = None
+
+    def _drain_process(self, context, tasks) -> List[list]:
+        """Run the tasks, surviving one pool collapse (rung 2 of the ladder)."""
+        results: List[Optional[list]] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        fresh_pools_left = 1
+        while True:
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(pending)), mp_context=context
+                ) as pool:
+                    self._collect(pool, tasks, results, pending)
+                return results
+            except _POOL_ERRORS as error:
+                pending = [index for index in pending if results[index] is None]
+                if fresh_pools_left <= 0 or not pending:
+                    raise
+                fresh_pools_left -= 1
+                self.fresh_pools += 1
+                _LOGGER.warning(
+                    "process pool collapsed (%r); rerunning %d unfinished "
+                    "task(s) on a fresh pool",
+                    error,
+                    len(pending),
+                    extra={
+                        "backend": self.backend,
+                        "pool_workers": self.workers,
+                        "pool_error": repr(error),
+                    },
+                )
+
+    def _collect(self, pool, tasks, results, pending) -> None:
+        """Drain ``pending`` tasks, retrying individual failures in place
+        (rung 1: resubmit to the same, still-healthy pool with backoff)."""
+        futures = {index: pool.submit(_discover_task, tasks[index]) for index in pending}
+        for index in pending:
+            attempts = 0
+            while True:
+                try:
+                    rows = self._fetch(futures[index], index)
+                    _validate_rows(self.tgds, rows)
+                    results[index] = rows
+                    break
+                except _POOL_ERRORS:
+                    raise  # every in-flight future is lost with the pool
+                except Exception as error:
+                    attempts += 1
+                    if attempts > self.retries:
+                        raise
+                    self.chunk_retries += 1
+                    _LOGGER.warning(
+                        "discovery task %d failed (%r); resubmitting "
+                        "(attempt %d/%d)",
+                        index,
+                        error,
+                        attempts,
+                        self.retries,
+                        extra={
+                            "backend": self.backend,
+                            "pool_workers": self.workers,
+                            "pool_error": repr(error),
+                        },
+                    )
+                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                    futures[index] = pool.submit(_discover_task, tasks[index])
 
     def _run_threads(self, instance: Instance, delta, tasks) -> List[list]:
         if self._thread_pool is None:
@@ -291,16 +415,28 @@ class ParallelMatcher:
         if self.backend == "process":
             try:
                 results = self._run_process(instance, delta, tasks)
-            except _POOL_ERRORS as error:
-                warnings.warn(
-                    f"process pool unavailable ({error!r}); "
+            except Exception as error:
+                # The ladder's last rung: retries and the fresh pool are
+                # spent (or the failure is not pool-shaped at all) — pin the
+                # run to threads and recompute the round from scratch.
+                _LOGGER.warning(
+                    "process pool unavailable (%r); "
                     "falling back to threaded discovery",
-                    RuntimeWarning,
-                    stacklevel=2,
+                    error,
+                    extra={
+                        "backend": "process",
+                        "pool_workers": self.workers,
+                        "pool_error": repr(error),
+                    },
                 )
                 self.backend = "thread"
         if results is None:
-            results = self._run_threads(instance, delta, tasks)
+            try:
+                results = self._run_threads(instance, delta, tasks)
+            except Exception as error:
+                raise ParallelDiscoveryError(
+                    f"threaded discovery fallback failed: {error!r}"
+                ) from error
         self.rounds_parallel += 1
         return _merge(self.tgds, results)
 
@@ -355,11 +491,14 @@ def parallel_map(fn, payloads, workers: int = 1, backend: str = "process") -> li
             ) as pool:
                 return list(pool.map(fn, payloads))
         except _POOL_ERRORS as error:
-            warnings.warn(
-                f"process pool unavailable ({error!r}); "
-                "falling back to threaded map",
-                RuntimeWarning,
-                stacklevel=2,
+            _LOGGER.warning(
+                "process pool unavailable (%r); falling back to threaded map",
+                error,
+                extra={
+                    "backend": "process",
+                    "pool_workers": workers,
+                    "pool_error": repr(error),
+                },
             )
     with ThreadPoolExecutor(max_workers=min(workers, len(payloads))) as pool:
         return list(pool.map(fn, payloads))

@@ -32,12 +32,20 @@ import random
 from typing import Callable, List, Optional, Sequence, Union
 
 from repro.core.instance import Instance
+from repro.chase.checkpoint import Budget, ChaseCheckpoint
 from repro.chase.derivation import Derivation
 from repro.chase.engine import ChaseEngine
 from repro.chase.trigger import Trigger, active_triggers_on
+from repro.errors import ChaseInterrupted, SearchBudgetExceeded
 from repro.tgds.tgd import TGD
 
 StrategyFn = Callable[[List[Trigger], Instance], int]
+
+#: Strategies whose trigger choice is a pure function of the worklist —
+#: the ones a checkpoint can resume byte-identically.  ``random`` (and
+#: arbitrary callables) would need their RNG state carried too, which the
+#: checkpoint format deliberately excludes (it is RNG-free).
+RESUMABLE_STRATEGIES = ("fifo", "lifo", "semi_naive")
 
 
 class ChaseResult:
@@ -49,6 +57,7 @@ class ChaseResult:
         derivation: Derivation,
         terminated: bool,
         steps: int,
+        rounds: Optional[int] = None,
     ):
         #: The final (or cut-off) instance.
         self.instance = instance
@@ -58,6 +67,8 @@ class ChaseResult:
         self.terminated = terminated
         #: Number of trigger applications performed.
         self.steps = steps
+        #: Completed semi-naive rounds (None for step-at-a-time strategies).
+        self.rounds = rounds
 
     def __repr__(self) -> str:
         state = "terminated" if self.terminated else "cut off"
@@ -80,13 +91,15 @@ def _resolve_strategy(
 
 
 def restricted_chase(
-    database: Instance,
+    database: Optional[Instance],
     tgds: Sequence[TGD],
     strategy: Union[str, StrategyFn] = "fifo",
     max_steps: int = 10_000,
     seed: Optional[int] = None,
     workers: int = 1,
     parallel_backend: str = "process",
+    budget: Optional[Budget] = None,
+    resume: Optional[ChaseCheckpoint] = None,
 ) -> ChaseResult:
     """Run one restricted chase derivation.
 
@@ -99,6 +112,14 @@ def restricted_chase(
     out): with ``workers > 1`` each round's discovery batch runs on a
     :class:`repro.chase.parallel.ParallelMatcher` pool, with results —
     instance, verdict, derivation — byte-identical to ``workers=1``.
+
+    ``budget`` adds a :class:`repro.chase.checkpoint.Budget` envelope on
+    top of ``max_steps``: exhaustion raises
+    :class:`repro.errors.ChaseInterrupted` carrying the partial instance
+    and a :class:`~repro.chase.checkpoint.ChaseCheckpoint`.  ``resume``
+    restores such a checkpoint (``database`` is then ignored and may be
+    None) and continues byte-identically to an uninterrupted run.  Both
+    require a deterministic strategy (:data:`RESUMABLE_STRATEGIES`).
     """
     if strategy == "semi_naive":
         return seminaive_chase(
@@ -107,14 +128,43 @@ def restricted_chase(
             max_steps=max_steps,
             workers=workers,
             parallel_backend=parallel_backend,
+            budget=budget,
+            resume=resume,
         )
+    if (budget is not None or resume is not None) and (
+        callable(strategy) or strategy not in RESUMABLE_STRATEGIES
+    ):
+        raise ValueError(
+            f"budgets and resume require a deterministic strategy "
+            f"{RESUMABLE_STRATEGIES}, got {strategy!r}"
+        )
+    kind = f"restricted:{strategy}"
     choose = _resolve_strategy(strategy, seed)
-    engine = ChaseEngine(database, tgds)
-    derivation = Derivation(engine.instance)
-    steps = 0
+    if resume is not None:
+        resume.require_kind(kind)
+        engine = resume.restore_engine(tgds)
+        derivation = resume.restore_derivation()
+        steps = resume.steps
+    else:
+        engine = ChaseEngine(database, tgds)
+        derivation = Derivation(engine.instance)
+        steps = 0
+    if budget is not None:
+        budget.start()
     while engine.pending:
         if steps >= max_steps:
             return ChaseResult(engine.instance, derivation, terminated=False, steps=steps)
+        if budget is not None:
+            reason = budget.exceeded(len(engine.instance))
+            if reason is not None:
+                raise ChaseInterrupted(
+                    reason,
+                    checkpoint=ChaseCheckpoint.capture(
+                        engine, kind, derivation=derivation, steps=steps
+                    ),
+                    instance=engine.instance,
+                    partial={"steps": steps},
+                )
         index = choose(engine.pending, engine.instance)
         trigger = engine.pending.pop(index)
         if not engine.is_active(trigger):
@@ -122,15 +172,19 @@ def restricted_chase(
         engine.apply(trigger)
         derivation.append(trigger)
         steps += 1
+        if budget is not None:
+            budget.charge_application()
     return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
 
 
 def seminaive_chase(
-    database: Instance,
+    database: Optional[Instance],
     tgds: Sequence[TGD],
     max_steps: int = 10_000,
     workers: int = 1,
     parallel_backend: str = "process",
+    budget: Optional[Budget] = None,
+    resume: Optional[ChaseCheckpoint] = None,
 ) -> ChaseResult:
     """The set-at-a-time restricted chase (``strategy="semi_naive"``).
 
@@ -146,26 +200,70 @@ def seminaive_chase(
     :class:`repro.chase.parallel.ParallelMatcher` pool (process-based by
     default, threaded fallback); the merged batches replay the serial order
     exactly, so the result stays byte-identical across worker counts.
+    (When ``CHASE_CHAOS_SEED`` is set, the pool runs under the
+    fault-injection harness of :mod:`repro.chase.chaos` — results must
+    still come back byte-identical, which is what the chaos CI job checks.)
+
+    ``budget`` exhaustion raises :class:`repro.errors.ChaseInterrupted`
+    with a resume checkpoint (round-boundary or mid-round); ``resume``
+    continues such a checkpoint byte-identically — same instance insertion
+    order, same derivation log, same verdict as the uninterrupted run.
     """
     matcher = None
     if workers > 1:
-        from repro.chase.parallel import ParallelMatcher
+        from repro.chase.chaos import build_matcher
 
-        matcher = ParallelMatcher(tgds, workers=workers, backend=parallel_backend)
-    engine = ChaseEngine(database, tgds, matcher=matcher)
-    derivation = Derivation(engine.instance)
-    steps = 0
+        matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
+    if resume is not None:
+        resume.require_kind("semi_naive")
+        engine = resume.restore_engine(tgds, matcher=matcher)
+        derivation = resume.restore_derivation()
+        steps = resume.steps
+        rounds = resume.rounds
+    else:
+        engine = ChaseEngine(database, tgds, matcher=matcher)
+        derivation = Derivation(engine.instance)
+        steps = 0
+        rounds = 0
+    if budget is not None:
+        budget.start()
+
+    def interrupt(reason: str):
+        raise ChaseInterrupted(
+            reason,
+            checkpoint=ChaseCheckpoint.capture(
+                engine, "semi_naive", derivation=derivation, steps=steps, rounds=rounds
+            ),
+            instance=engine.instance,
+            partial={"steps": steps, "rounds": rounds},
+        )
+
     try:
-        while engine.pending:
-            round_result = engine.run_round(max_applications=max_steps - steps)
+        while engine.pending or engine.mid_round():
+            if budget is not None:
+                if budget.rounds_exhausted():
+                    interrupt("budget:rounds")
+                reason = budget.exceeded(len(engine.instance))
+                if reason is not None:
+                    interrupt(reason)
+            round_result = engine.run_round(
+                max_applications=max_steps - steps, budget=budget
+            )
             for trigger in round_result.applied:
                 derivation.append(trigger)
             steps += len(round_result.applied)
             if round_result.cut:
-                return ChaseResult(
-                    engine.instance, derivation, terminated=False, steps=steps
-                )
-        return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
+                if round_result.reason == "max_applications":
+                    return ChaseResult(
+                        engine.instance, derivation, terminated=False, steps=steps
+                    )
+                interrupt(round_result.reason)
+            rounds += 1
+            if budget is not None:
+                budget.charge_round()
+        return ChaseResult(
+            engine.instance, derivation, terminated=True, steps=steps, rounds=rounds
+        )
     finally:
         if matcher is not None:
             matcher.close()
@@ -272,10 +370,6 @@ def exists_derivation_of_length(
     if found is None:
         return None
     return Derivation(Instance(database.atoms()), found)
-
-
-class SearchBudgetExceeded(RuntimeError):
-    """Raised when an exhaustive search runs out of its node budget."""
 
 
 def all_derivations_terminate(

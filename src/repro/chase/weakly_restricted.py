@@ -25,8 +25,10 @@ from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.atoms import Atom
 from repro.core.instance import Instance
+from repro.chase.checkpoint import Budget
 from repro.chase.derivation import Derivation
 from repro.chase.engine import HeadWitnessIndex
+from repro.errors import ChaseInterrupted
 from repro.chase.trigger import (
     Trigger,
     is_active,
@@ -134,14 +136,35 @@ class WeaklyRestrictedChase:
             key=lambda t: t.canonical_key,
         )
 
-    def run(self, rounds: int, max_occurrences: int = 50_000) -> bool:
+    def run(
+        self,
+        rounds: int,
+        max_occurrences: int = 50_000,
+        budget: Optional[Budget] = None,
+    ) -> bool:
         """Run ``rounds`` weakly restricted steps.
 
         Returns True when a fixpoint was reached (some round had no active
         trigger), False when the round or occurrence budget was exhausted
-        first.
+        first.  A :class:`Budget` limit binding at a round boundary raises
+        :class:`repro.errors.ChaseInterrupted` instead (partial records the
+        occurrence count; the object itself stays usable — committed rounds
+        are never rolled back).
         """
+        if budget is not None:
+            budget.start()
         for round_index in range(1, rounds + 1):
+            if budget is not None:
+                if budget.rounds_exhausted():
+                    raise ChaseInterrupted(
+                        "budget:rounds",
+                        partial={"occurrences": len(self.occurrences)},
+                    )
+                reason = budget.exceeded(len(self.occurrences))
+                if reason is not None:
+                    raise ChaseInterrupted(
+                        reason, partial={"occurrences": len(self.occurrences)}
+                    )
             active = self._active_triggers()
             if not active:
                 return True
@@ -169,6 +192,8 @@ class WeaklyRestrictedChase:
             if not new_occurrences:
                 return True
             self._commit(new_occurrences)
+            if budget is not None:
+                budget.charge_round()
         return False
 
     def _commit(self, new_occurrences: List[WROccurrence]) -> None:

@@ -184,6 +184,17 @@ class Instance:
         self._delta = None
         return delta
 
+    def resume_delta(self, delta: Delta) -> Delta:
+        """Continue recording into a restored :class:`Delta`.
+
+        The checkpoint-restore path: a budget cut can suspend a semi-naive
+        round mid-flight, and resuming byte-identically requires the round's
+        delta to keep its birth counters.  ``track_delta`` would start a
+        fresh counter; this re-attaches the carried one.
+        """
+        self._delta = delta
+        return delta
+
     def add(self, atom: Atom) -> bool:
         """Insert ``atom``; returns True iff it was not already present."""
         if not isinstance(atom, Atom):

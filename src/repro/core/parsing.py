@@ -28,6 +28,7 @@ from typing import Iterable, List, Sequence, Tuple, Union
 from repro.core.atoms import Atom
 from repro.core.instance import Database, Instance
 from repro.core.terms import Constant, Null, Term, Variable
+from repro.errors import ParseError
 
 _TOKEN_RE = re.compile(
     r"\s*(?:(?P<null>\?[A-Za-z_][A-Za-z_0-9]*)"
@@ -36,10 +37,6 @@ _TOKEN_RE = re.compile(
     r"|(?P<entails>:-)"
     r"|(?P<punct>[(),]))"
 )
-
-
-class ParseError(ValueError):
-    """Raised on malformed input text."""
 
 
 def _tokenize(text: str) -> List[Tuple[str, str]]:

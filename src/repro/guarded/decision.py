@@ -36,8 +36,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.atoms import Atom
 from repro.core.instance import Database, Instance
 from repro.core.terms import Constant, Term, Variable
+from repro.chase.checkpoint import Budget
 from repro.chase.derivation import Derivation, DerivationError
 from repro.chase.restricted import restricted_chase
+from repro.errors import ChaseInterrupted
 from repro.chase.trigger import Trigger, is_active
 from repro.core.homomorphism import is_homomorphism
 from repro.termination.critical import critical_oblivious_verdict
@@ -212,27 +214,44 @@ def _try_replay(
     )
 
 
-def _suspect_scan(payload) -> Optional[PumpWitness]:
+#: Pickle-safe sentinel a budgeted suspect task returns when the wall clock
+#: cut its chase (a raised exception would poison the whole pool batch).
+_TIMEOUT = "timeout"
+
+
+def _suspect_scan(payload):
     """One divergence-suspect task: chase a candidate database, hunt a pump.
 
     Module-level so :func:`repro.chase.parallel.parallel_map` can ship it to
     a process pool; the payload is ``(database, tgds, max_steps, replays)``
-    and the returned :class:`PumpWitness` (or None) pickles back.  The
-    strategy ladder — a divergence-biased LIFO probe, then the semi-naive
-    engine (byte-identical to fifo) — is exactly the serial loop's, so a
-    parallel scan reproduces serial verdicts database for database.
+    — optionally extended with a fifth element, the remaining wall-clock
+    seconds — and the returned :class:`PumpWitness` (or None, or the
+    ``"timeout"`` sentinel) pickles back.  The strategy ladder — a
+    divergence-biased LIFO probe, then the semi-naive engine
+    (byte-identical to fifo) — is exactly the serial loop's, so a parallel
+    scan reproduces serial verdicts database for database.
     """
-    database, tgds, max_steps, replays = payload
-    # semi_naive is byte-identical to fifo but pays trigger discovery
-    # once per round — the right mode for this many independent chases.
-    for strategy in ("lifo", "semi_naive"):
-        run = restricted_chase(database, tgds, strategy=strategy, max_steps=max_steps)
-        if run.terminated:
-            continue
-        pump = find_pump(database, tgds, run.derivation, replays=replays)
-        if pump is not None:
-            return pump
-    return None
+    if len(payload) == 4:
+        database, tgds, max_steps, replays = payload
+        remaining = None
+    else:
+        database, tgds, max_steps, replays, remaining = payload
+    budget = Budget(wall_seconds=remaining) if remaining is not None else None
+    try:
+        # semi_naive is byte-identical to fifo but pays trigger discovery
+        # once per round — the right mode for this many independent chases.
+        for strategy in ("lifo", "semi_naive"):
+            run = restricted_chase(
+                database, tgds, strategy=strategy, max_steps=max_steps, budget=budget
+            )
+            if run.terminated:
+                continue
+            pump = find_pump(database, tgds, run.derivation, replays=replays)
+            if pump is not None:
+                return pump
+        return None
+    except ChaseInterrupted:
+        return _TIMEOUT
 
 
 def scan_suspects(
@@ -241,6 +260,7 @@ def scan_suspects(
     max_steps: int,
     replays: int,
     workers: int = 1,
+    budget: Optional[Budget] = None,
 ) -> Optional[Tuple[Instance, PumpWitness]]:
     """Run the suspect chases; return the first (by candidate order) pump.
 
@@ -250,23 +270,71 @@ def scan_suspects(
     serial loop would have returned first.  (Parallelism trades the serial
     loop's early exit for wall-clock: all candidates are chased even when
     an early one pumps.)
+
+    A ``budget`` with a wall limit makes the scan interruptible: each
+    suspect chase runs against the remaining seconds, and exhaustion raises
+    :class:`repro.errors.ChaseInterrupted` whose ``partial`` records how
+    many suspect chases completed (``{"completed": n, "total": m}``).
     """
     from repro.chase.parallel import parallel_map
 
     tgd_list = list(tgds)
+    candidates = list(candidates)
+    if budget is not None:
+        budget.start()
+
+    def interrupt(completed: int):
+        raise ChaseInterrupted(
+            "budget:wall",
+            partial={"completed": completed, "total": len(candidates)},
+        )
+
     if workers <= 1:
         # Serial keeps the historical early exit: stop at the first pump.
-        for database in candidates:
-            pump = _suspect_scan((database, tgd_list, max_steps, replays))
+        for index, database in enumerate(candidates):
+            payload = (database, tgd_list, max_steps, replays)
+            if budget is not None:
+                if budget.out_of_time():
+                    interrupt(index)
+                payload = payload + (budget.remaining_seconds(),)
+            pump = _suspect_scan(payload)
+            if pump == _TIMEOUT:
+                interrupt(index)
             if pump is not None:
                 return database, pump
         return None
-    payloads = [(database, tgd_list, max_steps, replays) for database in candidates]
+    remaining = budget.remaining_seconds() if budget is not None else None
+    payloads = [
+        (database, tgd_list, max_steps, replays)
+        + ((remaining,) if remaining is not None else ())
+        for database in candidates
+    ]
     results = parallel_map(_suspect_scan, payloads, workers=workers)
+    completed = sum(1 for result in results if result != _TIMEOUT)
     for database, pump in zip(candidates, results):
+        if pump == _TIMEOUT:
+            # Candidate-order selection: a timed-out suspect ahead of every
+            # pump means the serial scan would not have reached one either.
+            interrupt(completed)
         if pump is not None:
             return database, pump
     return None
+
+
+def budget_verdict(interrupted: ChaseInterrupted, method: str) -> Verdict:
+    """Render an interrupted suspect scan as an honest ``TIMEOUT`` verdict."""
+    partial = dict(interrupted.partial or {})
+    completed = partial.get("completed", 0)
+    total = partial.get("total", "?")
+    return Verdict(
+        Status.TIMEOUT,
+        method=method,
+        certificate=partial,
+        detail=(
+            f"budget exhausted ({interrupted.reason}) after "
+            f"{completed}/{total} suspect chases completed"
+        ),
+    )
 
 
 def decide_guarded(
@@ -275,6 +343,7 @@ def decide_guarded(
     replays: int = 3,
     extra_candidates: Optional[Sequence[Instance]] = None,
     workers: int = 1,
+    budget: Optional[Budget] = None,
 ) -> Verdict:
     """The certifying decision procedure for guarded sets (DESIGN.md §3).
 
@@ -283,9 +352,13 @@ def decide_guarded(
     databases from observed behaviour).  ``workers > 1`` fans the
     independent suspect chases out over a process pool with deterministic
     (candidate-order) result selection — verdicts are identical to serial.
+    A ``budget`` wall limit turns exhaustion into a ``TIMEOUT`` verdict
+    recording how many suspect chases completed, never an engine error.
     """
     tgd_list = list(tgds)
     check_guarded_set(tgd_list)
+    if budget is not None:
+        budget.start()
     certificate = terminating_certificate(tgd_list)
     if certificate is not None:
         return Verdict(
@@ -304,7 +377,12 @@ def decide_guarded(
     candidates: List[Instance] = list(candidate_databases(tgd_list))
     if extra_candidates:
         candidates.extend(extra_candidates)
-    hit = scan_suspects(candidates, tgd_list, max_steps, replays, workers=workers)
+    try:
+        hit = scan_suspects(
+            candidates, tgd_list, max_steps, replays, workers=workers, budget=budget
+        )
+    except ChaseInterrupted as interrupted:
+        return budget_verdict(interrupted, method="guarded-budget")
     if hit is not None:
         database, pump = hit
         return Verdict(

@@ -31,12 +31,9 @@ from repro.core.terms import Null, Term
 from repro.chase.derivation import Derivation
 from repro.chase.trigger import Trigger
 from repro.sticky.caterpillar import CaterpillarPrefix
+from repro.errors import ExtractionError
 from repro.tgds.stickiness import StickinessAnalysis
 from repro.tgds.tgd import TGD
-
-
-class ExtractionError(ValueError):
-    """Raised when the prefix is too short to exhibit a caterpillar chain."""
 
 
 class TermGenealogy:

@@ -16,7 +16,9 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.guarded.decision import decide_guarded
+from repro.chase.checkpoint import Budget
+from repro.errors import ChaseInterrupted
+from repro.guarded.decision import budget_verdict, decide_guarded
 from repro.sticky.decision import decide_sticky
 from repro.termination.critical import critical_oblivious_verdict
 from repro.termination.verdict import Status, Verdict
@@ -73,8 +75,14 @@ class TerminationAnalyzer:
     def classify(self, tgds: Sequence[TGD]) -> Classification:
         return Classification(tgds)
 
-    def analyze(self, tgds: Sequence[TGD]) -> Verdict:
-        """Decide / semi-decide membership in ``CT_res_∀∀``."""
+    def analyze(self, tgds: Sequence[TGD], budget: Optional[Budget] = None) -> Verdict:
+        """Decide / semi-decide membership in ``CT_res_∀∀``.
+
+        ``budget`` is a per-run :class:`repro.chase.checkpoint.Budget`
+        threaded into the divergence-suspect scans; wall-clock exhaustion
+        yields a ``TIMEOUT`` verdict recording the completed suspect count
+        instead of an exception.
+        """
         tgd_list = list(tgds)
         classification = self.classify(tgd_list)
         if classification.sticky:
@@ -87,6 +95,7 @@ class TerminationAnalyzer:
                 max_steps=self.guarded_max_steps,
                 replays=self.replays,
                 workers=self.workers,
+                budget=budget,
             )
         # General single-head TGDs: sound certificates + sound witnesses only.
         certificate = terminating_certificate(tgd_list)
@@ -109,13 +118,17 @@ class TerminationAnalyzer:
         # The suspect scan (lifo probe + semi-naive rerun + pump replay per
         # candidate) runs as independent pool tasks when workers > 1, with
         # candidate-order selection keeping the verdict serial-identical.
-        hit = scan_suspects(
-            candidate_databases(tgd_list),
-            tgd_list,
-            self.guarded_max_steps,
-            self.replays,
-            workers=self.workers,
-        )
+        try:
+            hit = scan_suspects(
+                candidate_databases(tgd_list),
+                tgd_list,
+                self.guarded_max_steps,
+                self.replays,
+                workers=self.workers,
+                budget=budget,
+            )
+        except ChaseInterrupted as interrupted:
+            return budget_verdict(interrupted, method="general-budget")
         if hit is not None:
             _, pump = hit
             return Verdict(
@@ -133,13 +146,20 @@ class TerminationAnalyzer:
             ),
         )
 
-    def analyze_corpus(self, corpus: Sequence[Sequence[TGD]]) -> Dict[str, int]:
-        """Tally verdict statuses over a corpus (the X10 'table')."""
+    def analyze_corpus(
+        self, corpus: Sequence[Sequence[TGD]], budget: Optional[Budget] = None
+    ) -> Dict[str, int]:
+        """Tally verdict statuses over a corpus (the X10 'table').
+
+        A ``budget`` is a *shared* envelope across the whole corpus: once
+        its wall clock runs out, the remaining sets tally as ``TIMEOUT``.
+        """
         tally: Dict[str, int] = {
             Status.ALL_TERMINATING: 0,
             Status.NOT_ALL_TERMINATING: 0,
             Status.UNKNOWN: 0,
+            Status.TIMEOUT: 0,
         }
         for tgds in corpus:
-            tally[self.analyze(tgds).status] += 1
+            tally[self.analyze(tgds, budget=budget).status] += 1
         return tally

@@ -13,11 +13,17 @@ from typing import Any, Dict, Optional
 
 
 class Status:
-    """The three possible answers about membership in ``CT_res_∀∀``."""
+    """The possible answers about membership in ``CT_res_∀∀``.
+
+    ``TIMEOUT`` is distinct from ``UNKNOWN``: the configured *bounds* were
+    never reached — a :class:`repro.chase.checkpoint.Budget` cut the search
+    short, so a larger budget (not a larger bound) might still decide.
+    """
 
     ALL_TERMINATING = "all-terminating"
     NOT_ALL_TERMINATING = "not-all-terminating"
     UNKNOWN = "unknown"
+    TIMEOUT = "timeout"
 
 
 class Verdict:
@@ -34,6 +40,7 @@ class Verdict:
             Status.ALL_TERMINATING,
             Status.NOT_ALL_TERMINATING,
             Status.UNKNOWN,
+            Status.TIMEOUT,
         ):
             raise ValueError(f"unknown status {status!r}")
         #: One of the :class:`Status` constants.
@@ -57,6 +64,10 @@ class Verdict:
     @property
     def is_unknown(self) -> bool:
         return self.status == Status.UNKNOWN
+
+    @property
+    def is_timeout(self) -> bool:
+        return self.status == Status.TIMEOUT
 
     def __repr__(self) -> str:
         return f"Verdict({self.status} via {self.method})"

@@ -13,9 +13,11 @@ def make_report(
     indexed_speedup=30.0,
     seminaive_speedup=2.5,
     parallel_speedup=2.0,
+    checkpoint_overhead=1.05,
     identical=True,
     seminaive_identical=True,
     parallel_identical=True,
+    checkpoint_identical=True,
     cpu_count=8,
 ):
     return {
@@ -24,6 +26,7 @@ def make_report(
             "seminaive_threshold": 2.0,
             "parallel_threshold": 1.5,
             "parallel_gate_min_cpus": 4,
+            "checkpoint_overhead_threshold": 1.1,
         },
         "speedups": [
             {
@@ -58,6 +61,22 @@ def make_report(
                 "workers": 4,
                 "cpu_count": cpu_count,
             }
+        ],
+        "checkpoint_overheads": [
+            {
+                "workload": "checkpoint_join",
+                "size": 32,
+                "overhead_ratio": 1.2,  # small sizes are not gated
+                "identical_instances": checkpoint_identical,
+                "identical_derivations": True,
+            },
+            {
+                "workload": "checkpoint_join",
+                "size": 48,
+                "overhead_ratio": checkpoint_overhead,
+                "identical_instances": checkpoint_identical,
+                "identical_derivations": True,
+            },
         ],
     }
 
@@ -138,3 +157,33 @@ def test_missing_parallel_section_is_fatal():
     del report["parallel_speedups"]
     failures = gate(report, margin=1.0)
     assert any("no parallel_speedups" in f for f in failures)
+
+
+def test_checkpoint_overhead_regression_caught():
+    failures = gate(make_report(checkpoint_overhead=1.3), margin=1.0)
+    assert any("checkpoint_join" in f and "above" in f for f in failures)
+
+
+def test_checkpoint_overhead_small_sizes_not_gated():
+    # The n=32 fixture row sits at 1.2x — above the ceiling, but only the
+    # largest size is held to it.
+    assert gate(make_report(), margin=1.0) == []
+
+
+def test_checkpoint_equivalence_fatal():
+    failures = gate(make_report(checkpoint_identical=False), margin=1.0)
+    assert any(f.startswith("equivalence: checkpoint_join") for f in failures)
+
+
+def test_checkpoint_margin_loosens_the_ceiling():
+    # Overhead is lower-is-better: margin 0.8 raises the ceiling to
+    # 1.1 / 0.8 = 1.375x, so a 1.3x row passes.
+    assert gate(make_report(checkpoint_overhead=1.3), margin=1.0)
+    assert gate(make_report(checkpoint_overhead=1.3), margin=0.8) == []
+
+
+def test_missing_checkpoint_section_is_fatal():
+    report = make_report()
+    del report["checkpoint_overheads"]
+    failures = gate(report, margin=1.0)
+    assert any("no checkpoint_overheads" in f for f in failures)

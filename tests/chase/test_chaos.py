@@ -1,0 +1,260 @@
+"""Fault injection: chaos'd discovery is byte-identical or cleanly typed.
+
+The contract under test (see the failure model in ``docs/ARCHITECTURE.md``):
+whatever :class:`repro.chase.chaos.ChaosMatcher` injects — killed workers,
+delayed chunks, corrupted results — a chase either completes with results
+byte-identical to the undisturbed serial run (faults healed by the retry
+ladder) or fails with a clean typed :class:`repro.errors.ReproError`
+subclass.  Never a hang, never a silently partial or corrupted instance.
+
+The CI ``chaos`` job runs the parallel equivalence suite plus this file
+with ``CHASE_CHAOS_SEED`` exported, routing every pool-backed chase in the
+process through :func:`repro.chase.chaos.build_matcher`'s chaos path.
+"""
+
+import logging
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.instance import Database
+from repro.core.terms import Constant
+from repro.chase import parallel
+from repro.chase.chaos import ChaosMatcher, ChaosPolicy, build_matcher
+from repro.chase.engine import ChaseEngine
+from repro.chase.parallel import ParallelMatcher, _validate_rows
+from repro.chase.restricted import restricted_chase, seminaive_chase
+from repro.chase.trigger import seminaive_triggers
+from repro.errors import ParallelDiscoveryError, ResultIntegrityError
+from repro.tgds.tgd import parse_tgds
+
+JOIN_TGDS = parse_tgds(
+    [
+        "E(x,y) -> F(x,y)",
+        "F(x,y), F(y,z) -> T(x,z)",
+        "T(x,y) -> S(x)",
+    ]
+)
+
+
+def ring_database(n: int) -> Database:
+    return Database(
+        Atom("E", [Constant(f"c{i}"), Constant(f"c{(i + 1) % n}")]) for i in range(n)
+    )
+
+
+def materialize_round(database, tgds):
+    """Apply one round by hand; returns (engine, delta) for discovery tests."""
+    engine = ChaseEngine(database, tgds)
+    engine.instance.track_delta()
+    for trigger in engine.take_pending():
+        if engine.is_active(trigger):
+            atom = trigger.result()
+            if engine.instance.add(atom):
+                engine.witnesses.note(atom)
+    return engine, engine.instance.take_delta()
+
+
+def chaos_matcher(policy, **kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("backend", "process")
+    kwargs.setdefault("min_parallel_work", 0)
+    kwargs.setdefault("retry_backoff", 0.0)
+    return ChaosMatcher(JOIN_TGDS, policy, **kwargs)
+
+
+def assert_identical_runs(serial, chaotic):
+    assert serial.terminated == chaotic.terminated
+    assert serial.steps == chaotic.steps
+    assert serial.instance == chaotic.instance
+    assert list(serial.instance) == list(chaotic.instance)
+    assert [t.key for t in serial.derivation.steps] == [
+        t.key for t in chaotic.derivation.steps
+    ]
+
+
+class TestPolicy:
+    def test_schedule_is_deterministic_per_seed(self):
+        draws = [ChaosPolicy(seed=5).draw() for _ in range(64)]
+        again = [ChaosPolicy(seed=5).draw() for _ in range(64)]
+        assert draws == again
+        assert set(draws) <= {None, "kill", "delay", "corrupt"}
+
+    def test_different_seeds_differ(self):
+        a = [ChaosPolicy(seed=1).draw() for _ in range(64)]
+        b = [ChaosPolicy(seed=2).draw() for _ in range(64)]
+        assert a != b
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError, match="kill_rate"):
+            ChaosPolicy(seed=0, kill_rate=1.5)
+        with pytest.raises(ValueError, match="sum"):
+            ChaosPolicy(seed=0, kill_rate=0.5, delay_rate=0.4, corrupt_rate=0.3)
+
+
+class TestRowValidation:
+    def test_rejects_the_chaos_corruption(self):
+        with pytest.raises(ResultIntegrityError, match="malformed"):
+            _validate_rows(JOIN_TGDS, [("chaos", "corrupt")])
+
+    def test_rejects_non_list(self):
+        with pytest.raises(ResultIntegrityError, match="row list"):
+            _validate_rows(JOIN_TGDS, None)
+
+    def test_rejects_bad_tgd_index_and_arity(self):
+        with pytest.raises(ResultIntegrityError, match="TGD index"):
+            _validate_rows(JOIN_TGDS, [(99, (Constant("a"),), 0)])
+        with pytest.raises(ResultIntegrityError, match="arity"):
+            _validate_rows(JOIN_TGDS, [(0, (Constant("a"),), 0)])
+
+    def test_accepts_genuine_rows(self):
+        engine, delta = materialize_round(ring_database(4), JOIN_TGDS)
+        rows = parallel._match_chunks(
+            JOIN_TGDS, engine.instance, delta, [(0, 0, 0, len(delta))]
+        )
+        _validate_rows(JOIN_TGDS, rows)  # must not raise
+
+
+class TestChaosEquivalence:
+    """Every fault shape heals into byte-identical discovery."""
+
+    def expected_keys(self):
+        engine, delta = materialize_round(ring_database(8), JOIN_TGDS)
+        serial = [
+            t.key for t in seminaive_triggers(JOIN_TGDS, engine.instance, delta)
+        ]
+        return engine, delta, serial
+
+    def test_corrupt_results_are_rejected_and_retried(self, caplog):
+        engine, delta, serial = self.expected_keys()
+        # Corrupt a task sometimes: per-task retries heal it in-pool.
+        policy = ChaosPolicy(seed=11, kill_rate=0.0, delay_rate=0.0, corrupt_rate=0.4)
+        with chaos_matcher(policy) as matcher:
+            with caplog.at_level(logging.WARNING, logger="repro.chase.parallel"):
+                for _ in range(4):
+                    got = [t.key for t in matcher.discover(engine.instance, delta)]
+                    assert got == serial
+            assert matcher.faults["corrupt"] > 0
+            if matcher.chunk_retries:
+                assert any(
+                    "resubmitting" in record.getMessage()
+                    for record in caplog.records
+                    if record.name == "repro.chase.parallel"
+                )
+
+    def test_killed_workers_get_a_fresh_pool(self):
+        engine, delta, serial = self.expected_keys()
+        # Kill rarely enough that the fresh pool usually completes the round.
+        policy = ChaosPolicy(seed=3, kill_rate=0.2, delay_rate=0.0, corrupt_rate=0.0)
+        with chaos_matcher(policy) as matcher:
+            for _ in range(6):
+                got = [t.key for t in matcher.discover(engine.instance, delta)]
+                assert got == serial
+        assert matcher.faults["kill"] > 0
+
+    def test_delays_change_nothing(self):
+        engine, delta, serial = self.expected_keys()
+        policy = ChaosPolicy(
+            seed=7, kill_rate=0.0, delay_rate=1.0, corrupt_rate=0.0,
+            delay_seconds=0.001,
+        )
+        with chaos_matcher(policy) as matcher:
+            got = [t.key for t in matcher.discover(engine.instance, delta)]
+        assert got == serial
+        assert matcher.faults["delay"] > 0
+        assert matcher.chunk_retries == 0 and matcher.fresh_pools == 0
+
+    def test_total_kill_degrades_to_threads(self, caplog):
+        engine, delta, serial = self.expected_keys()
+        policy = ChaosPolicy(seed=1, kill_rate=1.0, delay_rate=0.0, corrupt_rate=0.0)
+        with chaos_matcher(policy) as matcher:
+            with caplog.at_level(logging.WARNING, logger="repro.chase.parallel"):
+                got = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert got == serial
+            assert matcher.backend == "thread"  # pinned after both pools died
+            assert matcher.fresh_pools == 1
+            assert any(
+                "falling back to threaded discovery" in record.getMessage()
+                for record in caplog.records
+                if record.name == "repro.chase.parallel"
+            )
+            # The thread path is never chaos'd: later rounds stay identical.
+            again = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert again == serial
+
+    def test_total_corruption_exhausts_retries_then_degrades(self):
+        engine, delta, serial = self.expected_keys()
+        policy = ChaosPolicy(seed=2, kill_rate=0.0, delay_rate=0.0, corrupt_rate=1.0)
+        with chaos_matcher(policy, retries=2) as matcher:
+            got = [t.key for t in matcher.discover(engine.instance, delta)]
+        assert got == serial
+        assert matcher.chunk_retries >= 2  # both in-pool resubmissions spent
+        assert matcher.backend == "thread"
+
+    def test_end_to_end_chase_under_chaos(self, monkeypatch):
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        serial = restricted_chase(ring_database(8), JOIN_TGDS, strategy="semi_naive")
+        for seed in (1, 2, 3):
+            monkeypatch.setenv("CHASE_CHAOS_SEED", str(seed))
+            chaotic = restricted_chase(
+                ring_database(8), JOIN_TGDS, strategy="semi_naive", workers=2
+            )
+            assert_identical_runs(serial, chaotic)
+
+    def test_thread_fallback_failure_is_typed_and_engine_survives(self, monkeypatch):
+        engine, delta, serial = self.expected_keys()
+        policy = ChaosPolicy(seed=1, kill_rate=1.0, delay_rate=0.0, corrupt_rate=0.0)
+        with chaos_matcher(policy) as matcher:
+
+            def refuse(*args, **kwargs):
+                raise RuntimeError("threads exhausted")
+
+            monkeypatch.setattr(matcher, "_run_threads", refuse)
+            with pytest.raises(ParallelDiscoveryError):
+                matcher.discover(engine.instance, delta)
+            # The failure is clean: un-breaking the backend lets the same
+            # matcher (and the same engine round) retry successfully.
+            monkeypatch.undo()
+            got = [t.key for t in matcher.discover(engine.instance, delta)]
+            assert got == serial
+
+
+class TestBuildMatcher:
+    def test_plain_matcher_without_seed(self, monkeypatch):
+        monkeypatch.delenv("CHASE_CHAOS_SEED", raising=False)
+        matcher = build_matcher(JOIN_TGDS, workers=2)
+        assert type(matcher) is ParallelMatcher
+        matcher.close()
+
+    def test_chaos_matcher_with_seed(self, monkeypatch):
+        monkeypatch.setenv("CHASE_CHAOS_SEED", "1307")
+        monkeypatch.setenv("CHASE_CHAOS_KILL", "0.1")
+        matcher = build_matcher(JOIN_TGDS, workers=2)
+        assert isinstance(matcher, ChaosMatcher)
+        assert matcher.policy.seed == 1307
+        assert matcher.policy.kill_rate == 0.1
+        matcher.close()
+
+    def test_single_worker_build_is_serial_either_way(self, monkeypatch):
+        monkeypatch.setenv("CHASE_CHAOS_SEED", "1307")
+        matcher = build_matcher(JOIN_TGDS, workers=1)
+        assert matcher.backend == "serial"
+        matcher.close()
+
+    def test_seminaive_chase_routes_through_build_matcher(self, monkeypatch):
+        # workers>1 must pick up the env seed without any explicit opt-in.
+        monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
+        monkeypatch.setenv("CHASE_CHAOS_SEED", "1307")
+        built = []
+        original = build_matcher
+
+        def spy(tgds, **kwargs):
+            matcher = original(tgds, **kwargs)
+            built.append(matcher)
+            return matcher
+
+        import repro.chase.chaos as chaos_module
+
+        monkeypatch.setattr(chaos_module, "build_matcher", spy)
+        seminaive_chase(ring_database(8), JOIN_TGDS, workers=2)
+        assert built and all(isinstance(m, ChaosMatcher) for m in built)

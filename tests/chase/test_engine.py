@@ -14,6 +14,7 @@ from repro.core.atoms import Atom
 from repro.core.instance import Database, Instance
 from repro.core.parsing import parse_database
 from repro.core.terms import Constant
+from repro.chase.checkpoint import Budget
 from repro.chase.engine import ChaseEngine, HeadWitnessIndex
 from repro.chase.oblivious import oblivious_chase
 from repro.chase.restricted import (
@@ -221,3 +222,98 @@ class TestDerivationSearchOnEngine:
         tgds = parse_tgds(["R(x,y) -> R(y,x)"])
         assert exists_derivation_of_length(database, tgds, 3) is None
         assert exists_derivation_of_length(database, tgds, 1) is not None
+
+
+class TestRunRoundBudgets:
+    """Budget cuts in ``run_round``: typed reasons, tail requeue, suspension.
+
+    A violated :class:`~repro.chase.checkpoint.Budget` must cut the round
+    with a ``budget:*`` reason, re-queue the unprocessed tail in order, and
+    leave the engine *suspended* (round delta live) — never poisoned: a
+    later ``run_round`` with headroom completes the same logical round
+    byte-identically to an uncut one.
+    """
+
+    def fresh_engine(self):
+        return ChaseEngine(chain_database(6), CHAIN_TGDS)
+
+    def uncut_round(self):
+        engine = self.fresh_engine()
+        return engine, engine.run_round()
+
+    def test_application_budget_cuts_with_typed_reason(self):
+        engine = self.fresh_engine()
+        budget = Budget(max_applications=2)
+        budget.start()
+        result = engine.run_round(budget=budget)
+        assert result.cut and result.reason == "budget:applications"
+        assert len(result.applied) == 2
+        assert budget.applications == 2  # every application was charged
+        assert engine.mid_round()
+
+    def test_atom_budget_cuts_with_typed_reason(self):
+        engine = self.fresh_engine()
+        base = len(engine.instance)
+        budget = Budget(max_atoms=base + 2)
+        budget.start()
+        result = engine.run_round(budget=budget)
+        assert result.cut and result.reason == "budget:atoms"
+        assert len(engine.instance) <= base + 2
+
+    def test_wall_budget_cuts_before_any_application(self):
+        engine = self.fresh_engine()
+        budget = Budget(wall_seconds=0)
+        budget.start()
+        result = engine.run_round(budget=budget)
+        assert result.cut and result.reason == "budget:wall"
+        assert result.applied == [] and result.delta == []
+        assert engine.mid_round()
+
+    def test_cut_requeues_tail_in_order(self):
+        engine = self.fresh_engine()
+        before = [t.key for t in engine.pending]
+        budget = Budget(max_applications=2)
+        budget.start()
+        result = engine.run_round(budget=budget)
+        applied_keys = [t.key for t in result.applied]
+        # The unprocessed tail is exactly the original batch minus what ran,
+        # in the original order.
+        assert [t.key for t in engine.pending] == [
+            k for k in before if k not in applied_keys
+        ]
+
+    def test_suspended_round_resumes_byte_identically(self):
+        _, uncut = self.uncut_round()
+        engine = self.fresh_engine()
+        budget = Budget(max_applications=2)
+        budget.start()
+        first = engine.run_round(budget=budget)
+        assert first.cut
+        second = engine.run_round()  # headroom restored: same logical round
+        assert not second.cut and not engine.mid_round()
+        assert [t.key for t in first.applied + second.applied] == [
+            t.key for t in uncut.applied
+        ]
+        assert first.delta + second.delta == uncut.delta
+        assert [t.key for t in second.discovered] == [
+            t.key for t in uncut.discovered
+        ]
+
+    def test_shared_budget_spans_calls(self):
+        engine = self.fresh_engine()
+        budget = Budget(max_applications=4)
+        budget.start()
+        first = engine.run_round(budget=budget)
+        assert first.cut and budget.applications == 4
+        # The same envelope has no headroom left: the next call cuts at once.
+        second = engine.run_round(budget=budget)
+        assert second.cut and second.reason == "budget:applications"
+        assert second.applied == []
+
+    def test_legacy_caps_keep_their_reasons(self):
+        engine = self.fresh_engine()
+        result = engine.run_round(max_applications=1)
+        assert result.cut and result.reason == "max_applications"
+        engine = self.fresh_engine()
+        result = engine.run_round(max_atoms=len(engine.instance))
+        assert result.cut and result.reason == "max_atoms"

@@ -14,6 +14,7 @@ monkeypatching the module default) so the tiny corpora here actually cross
 the pool instead of short-circuiting to the serial path.
 """
 
+import logging
 import os
 import pickle
 
@@ -312,9 +313,14 @@ class TestCorpusEquivalence:
 
 
 class TestFallback:
-    """Pool unavailable → threaded fallback: no hang, identical results."""
+    """Pool unavailable → threaded fallback: no hang, identical results.
 
-    def test_broken_process_pool_falls_back_to_threads(self, monkeypatch):
+    Fallbacks announce themselves as structured log events on the
+    ``repro.chase.parallel`` logger (backend, worker count, and the
+    triggering exception ride along as record attributes).
+    """
+
+    def test_broken_process_pool_falls_back_to_threads(self, monkeypatch, caplog):
         engine, delta = materialize_round(ring_database(8), JOIN_TGDS)
         expected = [
             t.key for t in seminaive_triggers(JOIN_TGDS, engine.instance, delta)
@@ -327,17 +333,30 @@ class TestFallback:
                 raise OSError("fork restricted")
 
             monkeypatch.setattr(matcher, "_run_process", refuse)
-            with pytest.warns(RuntimeWarning, match="falling back to threaded"):
+            with caplog.at_level(logging.WARNING, logger="repro.chase.parallel"):
                 got = [t.key for t in matcher.discover(engine.instance, delta)]
             assert got == expected
             assert matcher.backend == "thread"
-            # Subsequent rounds go straight to threads — no more warnings.
-            import warnings as warnings_module
-
-            with warnings_module.catch_warnings():
-                warnings_module.simplefilter("error")
+            events = [
+                record
+                for record in caplog.records
+                if record.name == "repro.chase.parallel"
+            ]
+            assert len(events) == 1
+            assert "falling back to threaded discovery" in events[0].getMessage()
+            assert events[0].backend == "process"
+            assert events[0].pool_workers == 2
+            assert "fork restricted" in events[0].pool_error
+            # Subsequent rounds go straight to threads — no more events.
+            caplog.clear()
+            with caplog.at_level(logging.WARNING, logger="repro.chase.parallel"):
                 again = [t.key for t in matcher.discover(engine.instance, delta)]
             assert again == expected
+            assert not [
+                record
+                for record in caplog.records
+                if record.name == "repro.chase.parallel"
+            ]
             assert matcher.rounds_parallel == 2
 
     def test_fork_unavailable_picks_threads_at_construction(self, monkeypatch):
@@ -345,7 +364,7 @@ class TestFallback:
         matcher = ParallelMatcher(JOIN_TGDS, workers=2, backend="process")
         assert matcher.backend == "thread"
 
-    def test_chase_survives_broken_pool(self, monkeypatch):
+    def test_chase_survives_broken_pool(self, monkeypatch, caplog):
         # End to end: a chase whose every pool launch fails still finishes
         # with byte-identical results via threads.
         monkeypatch.setattr(parallel, "DEFAULT_MIN_PARALLEL_WORK", 0)
@@ -356,10 +375,15 @@ class TestFallback:
         monkeypatch.setattr(ParallelMatcher, "_run_process", refuse)
         db = ring_database(8)
         serial = restricted_chase(db, JOIN_TGDS, strategy="semi_naive")
-        with pytest.warns(RuntimeWarning):
+        with caplog.at_level(logging.WARNING, logger="repro.chase.parallel"):
             fanned = restricted_chase(
                 db, JOIN_TGDS, strategy="semi_naive", workers=2
             )
+        assert any(
+            "falling back to threaded" in record.getMessage()
+            for record in caplog.records
+            if record.name == "repro.chase.parallel"
+        )
         assert_identical_runs(serial, fanned)
 
 

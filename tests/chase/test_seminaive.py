@@ -278,13 +278,28 @@ class TestRunRound:
         assert result.cut
         assert len(engine.instance) == size + 2  # the violating add is kept
 
-    def test_round_after_cut_raises(self):
-        # A cut discards the round's delta, so resuming would silently miss
-        # its triggers — the engine refuses instead.
+    def test_round_after_cut_resumes_byte_identically(self):
+        # A cut keeps the round's delta live (the engine is suspended, not
+        # poisoned): the next run_round call finishes the same logical
+        # round and discovers exactly what an uncut round would have.
+        cold = ChaseEngine(chain_database(4), CHAIN_TGDS)
+        uncut = cold.run_round()
         engine = ChaseEngine(chain_database(4), CHAIN_TGDS)
-        assert engine.run_round(max_applications=2).cut
-        with pytest.raises(RuntimeError):
-            engine.run_round()
+        first = engine.run_round(max_applications=2)
+        assert first.cut and engine.mid_round()
+        second = engine.run_round()
+        assert not second.cut and not engine.mid_round()
+        assert engine.instance == cold.instance
+        assert list(engine.instance) == list(cold.instance)
+        assert [t.key for t in first.applied + second.applied] == [
+            t.key for t in uncut.applied
+        ]
+        # Per-call deltas partition the round's delta.
+        assert first.delta + second.delta == uncut.delta
+        assert [t.key for t in second.discovered] == [
+            t.key for t in uncut.discovered
+        ]
+        assert [t.key for t in engine.pending] == [t.key for t in cold.pending]
 
     def test_full_round_discovers_next_batch(self):
         engine = ChaseEngine(chain_database(3), CHAIN_TGDS)
