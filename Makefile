@@ -21,7 +21,7 @@ COVERAGE_FLOOR ?= 80
 #: the point is that a failing run is reproducible from the seed alone.
 CHAOS_SEED ?= 1307
 
-.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage
+.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage stats
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,12 @@ bench-gate:
 # The per-exhibit pytest-benchmark suites (X1-X12 + ablations).
 bench-exhibits:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest bench_*.py -q
+
+# Per-workload telemetry summary of the last bench report (rounds,
+# trigger accounting, cache hit rate, pool efficiency); run `make bench`
+# or `make bench-quick` first.  See docs/OBSERVABILITY.md.
+stats:
+	$(PYTHON) -m repro.obs.report BENCH_chase.json
 
 # Tier-1 under coverage.py with an enforced floor on the chase kernel
 # (src/repro/chase/) and an HTML report in htmlcov/.  The offline dev

@@ -32,6 +32,7 @@ if __package__ in (None, ""):  # allow direct imports when run by pytest/harness
 from repro.chase.checkpoint import Budget
 from repro.chase.restricted import seminaive_chase
 from repro.errors import ChaseInterrupted
+from repro.obs import trace
 
 from bench_parallel import join_database, parallel_tgds
 
@@ -73,24 +74,32 @@ def measure(n: int, repeats: int = 3) -> dict:
     …): the measured overhead sits in single-digit percent, so letting
     scheduler or thermal drift land on only one side of the ratio would
     dominate the signal.
+
+    Tracing is suspended around the timed runs (the resumed side executes
+    more instrumented rounds than cold, so span emission would bias the
+    ratio); a ``--trace`` harness run gets its ``checkpoint.capture`` /
+    ``checkpoint.restore`` spans from one extra untimed run instead.
     """
     database = join_database(n)
     mid = max(1, run_cold(database).rounds // 2)
     cold_s = resumed_s = produce_s = restore_s = float("inf")
     cold = resumed = None
     blob = b""
-    for _ in range(repeats):
-        start = time.perf_counter()
-        cold = run_cold(database)
-        cold_s = min(cold_s, time.perf_counter() - start)
-        start = time.perf_counter()
-        blob = interrupt_at(database, mid)
-        cut = time.perf_counter()
-        resumed = resume_from(blob)
-        done = time.perf_counter()
-        produce_s = min(produce_s, cut - start)
-        restore_s = min(restore_s, done - cut)
-        resumed_s = min(resumed_s, done - start)
+    with trace.suspended():
+        for _ in range(repeats):
+            start = time.perf_counter()
+            cold = run_cold(database)
+            cold_s = min(cold_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            blob = interrupt_at(database, mid)
+            cut = time.perf_counter()
+            resumed = resume_from(blob)
+            done = time.perf_counter()
+            produce_s = min(produce_s, cut - start)
+            restore_s = min(restore_s, done - cut)
+            resumed_s = min(resumed_s, done - start)
+    if trace.tracing():
+        run_interrupted(database, mid)
     return {
         "workload": "checkpoint_join",
         "size": n,

@@ -17,6 +17,16 @@ the perf floors regress:
   ``checkpoint_overhead_threshold`` (≤1.1×) of the uninterrupted cold run
   at the largest measured size (lower is better, so the noise margin
   loosens this ceiling instead of tightening it);
+* a fully recording run (``StatsRecorder`` + ``ChaseStats``) must stay
+  within ``obs_overhead_threshold`` (≤1.05×) of the plain run at the
+  largest measured size (same loosening-margin rule) — a report without
+  an ``obs_overheads`` section predates the telemetry layer and only
+  earns a note;
+* every ``stats`` dict embedded in a report row must satisfy the
+  telemetry invariants (fired ≤ discovered, hits ≤ lookups, non-negative
+  counters) — a violation means the instrumentation itself is buggy, so
+  it is treated like an equivalence failure (never skippable); rows
+  without a ``stats`` key are fine (older snapshots);
 * every engine pair must have produced identical instances (and, where
   recorded, identical derivations) — an equivalence failure is never
   skippable.
@@ -45,6 +55,60 @@ import json
 import os
 import sys
 from pathlib import Path
+
+
+def stats_violations(stats: dict, context: str) -> list:
+    """Telemetry-invariant violations in one embedded ``stats`` dict.
+
+    Validates the compact ``BENCH_STATS_FIELDS`` shape the harness embeds.
+    Every message is prefixed ``"equivalence:"`` — a stats dict that lies
+    about its own accounting means the instrumentation is buggy, which is
+    as fatal as a nonidentical instance.  Absent keys are tolerated (older
+    snapshots embed fewer fields).
+    """
+    problems = []
+
+    def field(name, default=0):
+        value = stats.get(name, default)
+        return default if value is None else value
+
+    if field("triggers_fired") > field("triggers_discovered"):
+        problems.append(
+            f"equivalence: {context}: stats fired "
+            f"({field('triggers_fired')}) exceeds discovered "
+            f"({field('triggers_discovered')})"
+        )
+    if field("cache_hits") > field("cache_lookups"):
+        problems.append(
+            f"equivalence: {context}: stats cache hits "
+            f"({field('cache_hits')}) exceed lookups "
+            f"({field('cache_lookups')})"
+        )
+    rate = stats.get("cache_hit_rate")
+    if rate is not None and not (0.0 <= rate <= 1.0):
+        problems.append(
+            f"equivalence: {context}: stats cache_hit_rate {rate} outside [0, 1]"
+        )
+    for name in (
+        "rounds",
+        "triggers_discovered",
+        "triggers_fired",
+        "triggers_vacuous",
+        "cache_lookups",
+        "cache_hits",
+        "max_delta",
+        "budget_cuts",
+        "retries",
+        "pool_fallbacks",
+        "worker_busy_seconds",
+        "parallel_wall_seconds",
+    ):
+        if field(name) < 0:
+            problems.append(
+                f"equivalence: {context}: stats counter {name} went negative "
+                f"({stats[name]})"
+            )
+    return problems
 
 
 def gate(report: dict, margin: float) -> list:
@@ -154,6 +218,49 @@ def gate(report: dict, margin: float) -> list:
                     f"checkpoint_join n={row['size']}: resume overhead "
                     f"{row['overhead_ratio']}x above the {round(ceiling, 3)}x ceiling"
                 )
+    obs_rows = report.get("obs_overheads", [])
+    if not obs_rows:
+        # Older snapshots predate the telemetry layer: tolerated, noted.
+        failures.append(
+            "note: report has no obs_overheads section (pre-telemetry "
+            "snapshot) — telemetry gate not applied"
+        )
+    else:
+        # Lower-is-better like the checkpoint ceiling, so the margin loosens.
+        ceiling = report["acceptance"].get("obs_overhead_threshold", 1.05) / margin
+        largest = max(row["size"] for row in obs_rows)
+        for row in obs_rows:
+            if not row["identical_instances"]:
+                failures.append(
+                    f"equivalence: obs_dense n={row['size']}: recording and "
+                    f"plain instances differ"
+                )
+            if not row.get("identical_derivations", True):
+                failures.append(
+                    f"equivalence: obs_dense n={row['size']}: instances match "
+                    f"but the derivations differ"
+                )
+            if row["size"] == largest and row["overhead_ratio"] > ceiling:
+                failures.append(
+                    f"obs_dense n={row['size']}: telemetry overhead "
+                    f"{row['overhead_ratio']}x above the {round(ceiling, 3)}x ceiling"
+                )
+    # Embedded stats dicts, wherever a section carries them.
+    for section in (
+        "speedups",
+        "seminaive_speedups",
+        "parallel_speedups",
+        "checkpoint_overheads",
+        "obs_overheads",
+    ):
+        for row in report.get(section, []):
+            stats = row.get("stats")
+            if stats is not None:
+                failures.extend(
+                    stats_violations(
+                        stats, f"{row.get('workload', section)} n={row.get('size')}"
+                    )
+                )
     return failures
 
 
@@ -207,7 +314,9 @@ def main(argv=None) -> int:
         f"{report['acceptance'].get('seminaive_threshold', 2.0)}x, "
         f"parallel >= {report['acceptance'].get('parallel_threshold', 1.5)}x, "
         f"checkpoint overhead <= "
-        f"{report['acceptance'].get('checkpoint_overhead_threshold', 1.1)}x "
+        f"{report['acceptance'].get('checkpoint_overhead_threshold', 1.1)}x, "
+        f"telemetry overhead <= "
+        f"{report['acceptance'].get('obs_overhead_threshold', 1.05)}x "
         f"(cpus={report['acceptance'].get('cpu_count', '?')}, "
         f"workers={report['acceptance'].get('workers', '?')}), "
         "instances identical"

@@ -25,6 +25,16 @@ Since PR 6 it also times the ``checkpoint_join`` workload
 run against the uninterrupted cold run, gated at ≤1.1× total overhead with
 byte-identical instances and derivations.
 
+Since PR 7 it also times the ``obs_dense`` workload (``bench_obs.py``):
+a fully recording run (process-wide ``StatsRecorder`` + ``ChaseStats``)
+against the plain run, gated at ≤1.05× overhead with byte-identical
+instances; the semi-naive, parallel, and obs report rows additionally
+embed a ``stats`` dict (rounds, trigger accounting, cache hit rate, pool
+efficiency — see ``repro.obs.stats.BENCH_STATS_FIELDS``) collected by one
+extra untimed run, and ``--trace PATH`` records the whole bench session
+as a Chrome trace (``PYTHONPATH=src python -m repro.obs.report`` prints
+the per-workload stats summary).
+
 ``benchmarks/check_regression.py`` turns the written report into a CI
 gate; see ``docs/CI.md``.
 
@@ -34,6 +44,7 @@ Usage::
     PYTHONPATH=src python benchmarks/harness.py --quick    # smaller sizes
     PYTHONPATH=src python benchmarks/harness.py --workers 4
     PYTHONPATH=src python benchmarks/harness.py --out PATH
+    PYTHONPATH=src python benchmarks/harness.py --trace trace.json
 
 or ``make bench`` / ``make bench-quick`` (``WORKERS=N`` forwards
 ``--workers``) from the repository root.
@@ -62,11 +73,17 @@ from repro.core.instance import Database
 from repro.core.terms import Constant
 from repro.chase.oblivious import oblivious_chase
 from repro.chase.restricted import restricted_chase, restricted_chase_naive
+from repro.obs import trace
+from repro.obs.stats import ChaseStats, bench_stats_row
 from repro.tgds.tgd import parse_tgds
 
 from bench_checkpoint import (
     CHECKPOINT_OVERHEAD_THRESHOLD,
     measure as measure_checkpoint,
+)
+from bench_obs import (
+    OBS_OVERHEAD_THRESHOLD,
+    measure as measure_obs,
 )
 from bench_parallel import (
     GATE_MIN_CPUS,
@@ -120,6 +137,15 @@ def _time(fn, *args, repeats: int, **kwargs):
         result = fn(*args, **kwargs)
         best = min(best, time.perf_counter() - start)
     return best, result
+
+
+def _collect_stats(fn, *args, **kwargs) -> dict:
+    """One extra *untimed* run with a ChaseStats sink; returns the compact
+    stats dict the report rows embed.  Kept out of the timed runs so the
+    measured ratios stay those of the shipping (stats-free) configuration;
+    the telemetry cost itself is gated separately by the obs_dense rows."""
+    result = fn(*args, stats=ChaseStats(), **kwargs)
+    return bench_stats_row(result.stats)
 
 
 def run_kernel(workload: str, make_db, sizes, repeats: int, max_steps: int = 1_000_000):
@@ -215,6 +241,10 @@ def run_seminaive_kernel(sizes, repeats: int, max_steps: int = 1_000_000):
                 "speedup": round(step_s / semi_s, 2),
                 "identical_instances": identical_instances,
                 "identical_derivations": identical_derivations,
+                "stats": _collect_stats(
+                    restricted_chase, db, tgds, strategy="semi_naive",
+                    max_steps=max_steps,
+                ),
             }
         )
     return rows, speedups
@@ -279,6 +309,10 @@ def run_parallel_kernel(sizes, repeats: int, workers: int, max_steps: int = 1_00
                 "identical_derivations": identical_derivations,
                 "workers": workers,
                 "cpu_count": cpus,
+                "stats": _collect_stats(
+                    restricted_chase, db, tgds, strategy="semi_naive",
+                    max_steps=max_steps, workers=workers,
+                ),
             }
         )
     return rows, speedups
@@ -293,6 +327,18 @@ def run_checkpoint_kernel(sizes, repeats: int):
     largest size, byte-identical instances and derivations throughout.
     """
     return [measure_checkpoint(n, repeats=repeats) for n in sizes]
+
+
+def run_obs_kernel(sizes, repeats: int):
+    """Telemetry overhead rows (``bench_obs.py``).
+
+    Each row times the plain (NullRecorder, no stats) run against a fully
+    recording run (process-wide ``StatsRecorder`` + ``ChaseStats``) of the
+    dense semi-naive workload; the recording run must stay within
+    ``OBS_OVERHEAD_THRESHOLD`` of plain at the largest size, with a
+    byte-identical instance and derivation.
+    """
+    return [measure_obs(n, repeats=repeats) for n in sizes]
 
 
 def run_oblivious(sizes, repeats: int):
@@ -332,7 +378,17 @@ def main(argv=None) -> int:
         default=str(Path(__file__).resolve().parents[1] / "BENCH_chase.json"),
         help="where to write the JSON report",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="record the whole bench session as a Chrome trace-event JSON "
+        "file (loadable in chrome://tracing / Perfetto)",
+    )
     args = parser.parse_args(argv)
+
+    if args.trace:
+        trace.start_trace(args.trace)
 
     if args.quick:
         sizes, repeats = (8, 16, 32), 2
@@ -346,11 +402,16 @@ def main(argv=None) -> int:
         # The checkpoint gate is a single-digit-percent ratio: best-of-3
         # with interleaved cold/interrupted runs keeps it out of noise.
         checkpoint_sizes, checkpoint_repeats = (32, 48), 3
+        # The ≤1.05x telemetry gate is tighter still: median of 9 paired
+        # ratios (order alternating within the pair), gated at n=128 where
+        # runs are long enough that blips stay inside the headroom.
+        obs_sizes, obs_repeats = (64, 128), 9
     else:
         sizes, repeats = (8, 16, 32, 64), 3
         seminaive_sizes, seminaive_repeats = (16, 32, 64), 3
         parallel_sizes, parallel_repeats = (16, 32, 64), 2
         checkpoint_sizes, checkpoint_repeats = (24, 32, 48), 3
+        obs_sizes, obs_repeats = (64, 128), 9
 
     results = []
     speedups = []
@@ -371,6 +432,7 @@ def main(argv=None) -> int:
     )
     results.extend(parallel_rows)
     checkpoint_overheads = run_checkpoint_kernel(checkpoint_sizes, checkpoint_repeats)
+    obs_overheads = run_obs_kernel(obs_sizes, obs_repeats)
 
     # Worker/CPU provenance on every entry (single-threaded kernels are
     # workers=1), so trajectory diffs never compare across pool widths or
@@ -379,7 +441,7 @@ def main(argv=None) -> int:
     for row in results:
         row.setdefault("workers", 1)
         row.setdefault("cpu_count", cpus)
-    for row in speedups + seminaive_speedups + checkpoint_overheads:
+    for row in speedups + seminaive_speedups + checkpoint_overheads + obs_overheads:
         row.setdefault("workers", 1)
         row.setdefault("cpu_count", cpus)
 
@@ -427,6 +489,14 @@ def main(argv=None) -> int:
         r["overhead_ratio"] <= CHECKPOINT_OVERHEAD_THRESHOLD
         for r in checkpoint_at_largest
     )
+    obs_largest = max(obs_sizes)
+    obs_at_largest = [r for r in obs_overheads if r["size"] == obs_largest]
+    obs_pass = all(
+        r["identical_instances"] and r["identical_derivations"]
+        for r in obs_overheads
+    ) and all(
+        r["overhead_ratio"] <= OBS_OVERHEAD_THRESHOLD for r in obs_at_largest
+    )
     verdict = {
         "threshold": SPEEDUP_THRESHOLD,
         "seminaive_threshold": SEMINAIVE_SPEEDUP_THRESHOLD,
@@ -446,6 +516,11 @@ def main(argv=None) -> int:
         "max_checkpoint_overhead_at_largest": max(
             r["overhead_ratio"] for r in checkpoint_at_largest
         ),
+        "obs_overhead_threshold": OBS_OVERHEAD_THRESHOLD,
+        "obs_largest_size": obs_largest,
+        "max_obs_overhead_at_largest": max(
+            r["overhead_ratio"] for r in obs_at_largest
+        ),
         "all_instances_identical": all(
             s["identical_instances"]
             for s in speedups + seminaive_speedups + parallel_speedups
@@ -458,7 +533,11 @@ def main(argv=None) -> int:
         "cpu_count": cpus,
         "parallel_gate_enforced": parallel_gate_enforced,
         "parallel_gate_min_cpus": GATE_MIN_CPUS,
-        "pass": indexed_pass and seminaive_pass and parallel_pass and checkpoint_pass,
+        "pass": indexed_pass
+        and seminaive_pass
+        and parallel_pass
+        and checkpoint_pass
+        and obs_pass,
     }
 
     report = {
@@ -470,9 +549,13 @@ def main(argv=None) -> int:
         "seminaive_speedups": seminaive_speedups,
         "parallel_speedups": parallel_speedups,
         "checkpoint_overheads": checkpoint_overheads,
+        "obs_overheads": obs_overheads,
         "acceptance": verdict,
     }
     Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
+    if args.trace:
+        trace.stop_trace()
+        print(f"wrote Chrome trace to {args.trace}")
 
     print(f"wrote {args.out}")
     header = f"{'workload':<16} {'n':>4} {'indexed s':>10} {'naive s':>10} {'speedup':>8}  identical"
@@ -503,6 +586,13 @@ def main(argv=None) -> int:
             f"{r['resumed_seconds']:>10.4f} {r['overhead_ratio']:>7.2f}x  "
             f"{r['identical_instances'] and r['identical_derivations']}"
         )
+    print(f"{'workload':<16} {'n':>4} {'plain s':>10} {'record s':>10} {'overhead':>8}  identical")
+    for r in obs_overheads:
+        print(
+            f"{r['workload']:<16} {r['size']:>4} {r['plain_seconds']:>10.4f} "
+            f"{r['recording_seconds']:>10.4f} {r['overhead_ratio']:>7.2f}x  "
+            f"{r['identical_instances'] and r['identical_derivations']}"
+        )
     parallel_note = (
         f"{verdict['min_parallel_speedup_at_largest']}x "
         f"(threshold {PARALLEL_SPEEDUP_THRESHOLD}x, workers={args.workers}, "
@@ -519,7 +609,10 @@ def main(argv=None) -> int:
         f"min parallel speedup is {parallel_note}, "
         f"max checkpoint overhead is "
         f"{verdict['max_checkpoint_overhead_at_largest']}x "
-        f"(threshold {CHECKPOINT_OVERHEAD_THRESHOLD}x) -> "
+        f"(threshold {CHECKPOINT_OVERHEAD_THRESHOLD}x), "
+        f"max telemetry overhead is "
+        f"{verdict['max_obs_overhead_at_largest']}x "
+        f"(threshold {OBS_OVERHEAD_THRESHOLD}x) -> "
         f"{'PASS' if verdict['pass'] else 'FAIL'}"
     )
     return 0 if verdict["pass"] else 1

@@ -28,14 +28,18 @@ a clean typed error.  The CI chaos job runs the equivalence suite under
 
 from __future__ import annotations
 
+import logging
 import os
 import random
-import time
 from concurrent.futures.process import BrokenProcessPool
 from typing import Optional, Sequence
 
 from repro.chase.parallel import ParallelMatcher
+from repro.obs import clock
+from repro.obs.log import get_logger, log_event
 from repro.tgds.tgd import TGD
+
+_LOGGER = get_logger(__name__)
 
 #: Environment switch: a seed here makes :func:`build_matcher` hand out
 #: chaos'd matchers process-wide (the CI chaos job sets it).
@@ -115,21 +119,31 @@ class ChaosMatcher(ParallelMatcher):
     def _fetch(self, future, task_index: int):
         # Wait for the genuine result first: a "killed" worker has already
         # finished, so injection can never wedge the pool itself.
-        rows = future.result()
+        payload = future.result()
         fault = self.policy.draw()
+        if fault is not None:
+            self.faults[fault] += 1
+            log_event(
+                _LOGGER,
+                logging.DEBUG,
+                "chaos.inject",
+                fault=fault,
+                task=task_index,
+                seed=self.policy.seed,
+            )
         if fault == "kill":
-            self.faults["kill"] += 1
             raise BrokenProcessPool(
                 f"chaos: worker killed while returning task {task_index}"
             )
         if fault == "delay":
-            self.faults["delay"] += 1
-            time.sleep(self.policy.delay_seconds)
+            # Via the obs clock: a FakeClock makes the injected latency
+            # observable in tests without actually sleeping.
+            clock.sleep(self.policy.delay_seconds)
         elif fault == "corrupt":
-            self.faults["corrupt"] += 1
+            rows, busy = payload
             # A malformed extra row: _validate_rows must reject the batch.
-            return list(rows) + [("chaos", "corrupt")]
-        return rows
+            return list(rows) + [("chaos", "corrupt")], busy
+        return payload
 
 
 def _env_rate(name: str, default: float) -> float:

@@ -32,14 +32,18 @@ have seen.
 
 from __future__ import annotations
 
-import time
+import logging
 from typing import List, Optional, Sequence, Tuple
 
 from repro.core.instance import Delta, Instance
 from repro.chase.engine import ChaseEngine
 from repro.chase.trigger import Trigger
 from repro.errors import CheckpointError
+from repro.obs import clock, metrics, trace
+from repro.obs.log import get_logger, log_event
 from repro.tgds.tgd import TGD
+
+_LOGGER = get_logger(__name__)
 
 #: Bumped when the snapshot layout changes; restore refuses other versions.
 CHECKPOINT_VERSION = 1
@@ -98,15 +102,22 @@ class Budget:
     # -- arming ------------------------------------------------------------
 
     def start(self) -> "Budget":
-        """Arm the wall clock (first call wins; later calls are no-ops)."""
+        """Arm the wall clock (first call wins; later calls are no-ops).
+
+        Time comes from the process-wide obs clock
+        (:func:`repro.obs.clock.monotonic`), the single monotonic source
+        every budget and timer shares — tests install a
+        :class:`repro.obs.clock.FakeClock` and drive deadlines without
+        sleeping.
+        """
         if self.wall_seconds is not None and self._deadline is None:
-            self._deadline = time.monotonic() + self.wall_seconds
+            self._deadline = clock.monotonic() + self.wall_seconds
         return self
 
     # -- checks ------------------------------------------------------------
 
     def out_of_time(self) -> bool:
-        return self._deadline is not None and time.monotonic() >= self._deadline
+        return self._deadline is not None and clock.monotonic() >= self._deadline
 
     def remaining_seconds(self) -> Optional[float]:
         """Seconds until the wall deadline (None if no wall limit is set)."""
@@ -114,7 +125,7 @@ class Budget:
             return None
         if self._deadline is None:
             return self.wall_seconds
-        return max(0.0, self._deadline - time.monotonic())
+        return max(0.0, self._deadline - clock.monotonic())
 
     def exceeded(self, atom_count: Optional[int] = None) -> Optional[str]:
         """The reason this budget is exhausted, or None if it is not.
@@ -258,24 +269,39 @@ class ChaseCheckpoint:
     ) -> "ChaseCheckpoint":
         """Snapshot a (possibly mid-round) engine plus its loop counters."""
         delta = engine._round_delta
-        return cls(
+        with trace.span("checkpoint.capture", atoms=len(engine.instance)):
+            checkpoint = cls(
+                kind=kind,
+                tgd_digests=[t.digest_prefix() for t in engine.tgds],
+                atoms=list(engine.instance),
+                pending=list(engine.pending),
+                seen=list(engine._seen),
+                delta=(delta.snapshot(), delta._counter) if delta is not None else None,
+                initial_atoms=(
+                    list(derivation.initial) if derivation is not None else None
+                ),
+                derivation_steps=(
+                    list(derivation.steps) if derivation is not None else None
+                ),
+                steps=steps,
+                rounds=rounds,
+                applications=applications,
+                track_witnesses=engine.witnesses is not None,
+            )
+        if engine.stats is not None:
+            engine.stats.checkpoints_captured += 1
+        if metrics.ENABLED:
+            metrics.counter("chase.checkpoints.captured")
+        log_event(
+            _LOGGER,
+            logging.DEBUG,
+            "checkpoint.capture",
             kind=kind,
-            tgd_digests=[t.digest_prefix() for t in engine.tgds],
-            atoms=list(engine.instance),
-            pending=list(engine.pending),
-            seen=list(engine._seen),
-            delta=(delta.snapshot(), delta._counter) if delta is not None else None,
-            initial_atoms=(
-                list(derivation.initial) if derivation is not None else None
-            ),
-            derivation_steps=(
-                list(derivation.steps) if derivation is not None else None
-            ),
-            steps=steps,
-            rounds=rounds,
-            applications=applications,
-            track_witnesses=engine.witnesses is not None,
+            atoms=len(checkpoint.atoms),
+            pending=len(checkpoint.pending),
+            mid_round=checkpoint.delta is not None,
         )
+        return checkpoint
 
     # -- restoring ---------------------------------------------------------
 
@@ -286,12 +312,16 @@ class ChaseCheckpoint:
                 f"cannot resume it as {kind!r}"
             )
 
-    def restore_engine(self, tgds: Sequence[TGD], matcher=None) -> ChaseEngine:
+    def restore_engine(
+        self, tgds: Sequence[TGD], matcher=None, stats=None
+    ) -> ChaseEngine:
         """Rebuild a suspended :class:`ChaseEngine` from this snapshot.
 
         Validates the TGD set by digest prefix (null invention depends on
         rule *names*, so an equal-modulo-renaming set would silently break
-        byte-identity — same guard as the engine's matcher check).
+        byte-identity — same guard as the engine's matcher check).  A
+        ``stats`` sink rides into the rebuilt engine and counts the
+        restoration.
         """
         if self.version != CHECKPOINT_VERSION:
             raise CheckpointError(
@@ -308,15 +338,31 @@ class ChaseCheckpoint:
         if self.delta is not None:
             items, counter = self.delta
             delta = Delta._restore(items, counter)
-        return ChaseEngine._restore(
-            tgds=tgds,
-            atoms=self.atoms,
-            pending=self.pending,
-            seen=self.seen,
-            round_delta=delta,
-            track_witnesses=self.track_witnesses,
-            matcher=matcher,
+        with trace.span("checkpoint.restore", atoms=len(self.atoms)):
+            engine = ChaseEngine._restore(
+                tgds=tgds,
+                atoms=self.atoms,
+                pending=self.pending,
+                seen=self.seen,
+                round_delta=delta,
+                track_witnesses=self.track_witnesses,
+                matcher=matcher,
+                stats=stats,
+            )
+        if stats is not None:
+            stats.checkpoints_restored += 1
+        if metrics.ENABLED:
+            metrics.counter("chase.checkpoints.restored")
+        log_event(
+            _LOGGER,
+            logging.INFO,
+            "checkpoint.restore",
+            kind=self.kind,
+            atoms=len(self.atoms),
+            pending=len(self.pending),
+            mid_round=self.delta is not None,
         )
+        return engine
 
     def restore_derivation(self):
         """Rebuild the derivation log prefix recorded in this checkpoint."""

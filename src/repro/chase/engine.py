@@ -39,6 +39,7 @@ module owns the fast implementations of all three:
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.atoms import Atom
@@ -52,7 +53,11 @@ from repro.chase.trigger import (
     seminaive_triggers,
     triggers_on,
 )
+from repro.obs import clock, metrics, trace
+from repro.obs.log import get_logger, log_event
 from repro.tgds.tgd import TGD
+
+_LOGGER = get_logger(__name__)
 
 
 def _check_matcher(matcher, tgds: Tuple[TGD, ...]) -> None:
@@ -86,6 +91,11 @@ class HeadWitnessIndex:
     def __init__(self, tgds: Iterable[TGD], instance: Optional[Instance] = None):
         self._witnessed: Dict[TGD, Set[Tuple[Term, ...]]] = {}
         self._tgds_by_head: Dict[str, List[TGD]] = {}
+        #: Telemetry: probes answered / probes answered "already witnessed"
+        #: (a hit deactivates a trigger — work the cache saved).  Plain
+        #: ints, folded into :class:`repro.obs.stats.ChaseStats` at run end.
+        self.lookups = 0
+        self.hits = 0
         for tgd in tgds:
             if tgd in self._witnessed:
                 continue
@@ -119,7 +129,11 @@ class HeadWitnessIndex:
 
     def witnessed(self, trigger: Trigger) -> bool:
         """Is the trigger's head already witnessed (i.e. the trigger inactive)?"""
-        return trigger.frontier_tuple() in self._witnessed[trigger.tgd]
+        self.lookups += 1
+        if trigger.frontier_tuple() in self._witnessed[trigger.tgd]:
+            self.hits += 1
+            return True
+        return False
 
     def consistent_with(self, instance: Instance) -> bool:
         """Brute-force audit: does the cache agree with ``satisfies_head``?
@@ -159,9 +173,9 @@ class ApplyToken:
 class RoundResult:
     """What one semi-naive :meth:`ChaseEngine.run_round` call did."""
 
-    __slots__ = ("applied", "delta", "discovered", "cut", "reason")
+    __slots__ = ("applied", "delta", "discovered", "cut", "reason", "vacuous")
 
-    def __init__(self, applied, delta, discovered, cut, reason=None):
+    def __init__(self, applied, delta, discovered, cut, reason=None, vacuous=0):
         #: Triggers applied this call, in application order.  With the
         #: witness cache enabled these are exactly the still-active batch
         #: triggers; without it, every processed batch trigger.
@@ -182,6 +196,9 @@ class RoundResult:
         #: string for a :class:`repro.chase.checkpoint.Budget`; None when
         #: the round completed.
         self.reason = reason
+        #: Batch triggers this call processed but skipped as inactive —
+        #: discovered work a head witness made vacuous before application.
+        self.vacuous = vacuous
 
     def __repr__(self) -> str:
         state = f"cut:{self.reason}" if self.cut else "complete"
@@ -208,6 +225,7 @@ class ChaseEngine:
         tgds: Sequence[TGD],
         track_witnesses: bool = True,
         matcher=None,
+        stats=None,
     ):
         self.tgds: Tuple[TGD, ...] = tuple(tgds)
         #: Optional :class:`repro.chase.parallel.ParallelMatcher`; when set,
@@ -215,6 +233,10 @@ class ChaseEngine:
         #: (byte-identical results — see chase/parallel.py's merge argument).
         _check_matcher(matcher, self.tgds)
         self.matcher = matcher
+        #: Optional :class:`repro.obs.stats.ChaseStats` sink.  Strictly
+        #: passive — an engine with stats attached is byte-identical to one
+        #: without (tests/chase/test_obs.py enforces this on the corpus).
+        self.stats = stats
         if isinstance(database, Instance):
             seed_atoms = database.sorted_atoms()
         else:
@@ -241,6 +263,7 @@ class ChaseEngine:
         round_delta,
         track_witnesses: bool,
         matcher=None,
+        stats=None,
     ) -> "ChaseEngine":
         """Rebuild a (possibly mid-round) engine from checkpoint state.
 
@@ -254,6 +277,7 @@ class ChaseEngine:
         engine.tgds = tgds
         _check_matcher(matcher, tgds)
         engine.matcher = matcher
+        engine.stats = stats
         engine.instance = Instance(atoms)
         engine.witnesses = (
             HeadWitnessIndex(tgds, engine.instance) if track_witnesses else None
@@ -263,6 +287,10 @@ class ChaseEngine:
         engine._round_delta = round_delta
         if round_delta is not None:
             engine.instance.resume_delta(round_delta)
+        if stats is not None:
+            # The snapshot's worklist enters this run's accounting as
+            # discovered work, keeping fired <= discovered on resume.
+            stats.triggers_discovered += len(engine.pending)
         return engine
 
     def mid_round(self) -> bool:
@@ -282,6 +310,8 @@ class ChaseEngine:
         for trigger in batch:
             self._seen.add(trigger.key)
         self.pending.extend(batch)
+        if self.stats is not None:
+            self.stats.triggers_discovered += len(batch)
         return batch
 
     def active_pending(self) -> List[Trigger]:
@@ -322,6 +352,8 @@ class ChaseEngine:
             if self.witnesses is not None:
                 witness_entries = self.witnesses.note(atom)
             discovered = self._enqueue(new_triggers(self.tgds, self.instance, [atom]))
+        if self.stats is not None:
+            self.stats.record_fired(trigger)
         return ApplyToken(trigger, atom, added, witness_entries, discovered)
 
     # -- semi-naive rounds -------------------------------------------------
@@ -369,49 +401,96 @@ class ChaseEngine:
             self._round_delta = self.instance.track_delta()
         delta = self._round_delta
         start = len(delta)
+        stats = self.stats
+        if stats is not None:
+            stats.pending_depths.append(len(self.pending))
+            stamp = clock.perf_counter()
         batch = self.take_pending()
         applied: List[Trigger] = []
+        vacuous = 0
         cut = False
         reason: Optional[str] = None
         witnesses = self.witnesses
-        for index, trigger in enumerate(batch):
-            if max_applications is not None and len(applied) >= max_applications:
-                self.pending = batch[index:] + self.pending
-                cut, reason = True, "max_applications"
-                break
-            if budget is not None:
-                reason = budget.exceeded(len(self.instance))
-                if reason is not None:
+        with trace.span("round.apply", batch=len(batch)):
+            for index, trigger in enumerate(batch):
+                if max_applications is not None and len(applied) >= max_applications:
                     self.pending = batch[index:] + self.pending
-                    cut = True
+                    cut, reason = True, "max_applications"
                     break
-            if witnesses is not None and witnesses.witnessed(trigger):
-                continue
-            atom = trigger.result()
-            if self.instance.add(atom) and witnesses is not None:
-                witnesses.note(atom)
-            applied.append(trigger)
-            if budget is not None:
-                budget.charge_application()
-            if max_atoms is not None and len(self.instance) > max_atoms:
-                self.pending = batch[index + 1:] + self.pending
-                cut, reason = True, "max_atoms"
-                break
+                if budget is not None:
+                    reason = budget.exceeded(len(self.instance))
+                    if reason is not None:
+                        self.pending = batch[index:] + self.pending
+                        cut = True
+                        break
+                if witnesses is not None and witnesses.witnessed(trigger):
+                    vacuous += 1
+                    continue
+                atom = trigger.result()
+                if self.instance.add(atom) and witnesses is not None:
+                    witnesses.note(atom)
+                applied.append(trigger)
+                if budget is not None:
+                    budget.charge_application()
+                if max_atoms is not None and len(self.instance) > max_atoms:
+                    self.pending = batch[index + 1:] + self.pending
+                    cut, reason = True, "max_atoms"
+                    break
         added = delta.atoms()[start:]
+        if stats is not None:
+            stats.apply_seconds += clock.perf_counter() - stamp
+            stats.triggers_vacuous += vacuous
+            for trigger in applied:
+                stats.record_fired(trigger)
         if cut:
-            return RoundResult(applied, added, [], cut=True, reason=reason)
+            # The *entry-point loop* records the cut into stats (it may turn
+            # a cut into an interrupt, a max-steps return, or a retry; only
+            # it knows which) — here the round just reports it.
+            trace.instant("round.cut", reason=reason)
+            if metrics.ENABLED:
+                metrics.counter("chase.round.cuts")
+            log_event(
+                _LOGGER,
+                logging.INFO,
+                "round.cut",
+                reason=reason,
+                applied=len(applied),
+                requeued=len(self.pending),
+                atoms=len(self.instance),
+            )
+            return RoundResult(
+                applied, added, [], cut=True, reason=reason, vacuous=vacuous
+            )
         discovered: List[Trigger] = []
         if delta:
+            if stats is not None:
+                stamp = clock.perf_counter()
             # Discover while the delta is still attached: on a matcher
             # failure the suspended state survives for a retry.
-            if self.matcher is not None:
-                batch = self.matcher.discover(self.instance, delta)
-            else:
-                batch = seminaive_triggers(self.tgds, self.instance, delta)
+            with trace.span("round.discover", delta=len(delta)):
+                if self.matcher is not None:
+                    batch = self.matcher.discover(self.instance, delta)
+                else:
+                    batch = seminaive_triggers(self.tgds, self.instance, delta)
             discovered = self._enqueue(batch, presorted=True)
+            if stats is not None:
+                stats.discover_seconds += clock.perf_counter() - stamp
+        if stats is not None:
+            # A cut-then-continued round tallies once, with the *whole*
+            # round's delta, at the call that completes it.
+            stats.record_round(len(delta))
+        if metrics.ENABLED:
+            recorder = metrics.get_recorder()
+            recorder.counter("chase.rounds")
+            recorder.counter("chase.triggers.fired", len(applied))
+            recorder.counter("chase.triggers.vacuous", vacuous)
+            recorder.counter("chase.triggers.discovered", len(discovered))
+            recorder.observe("chase.round.delta", len(delta))
         self.instance.take_delta()
         self._round_delta = None
-        return RoundResult(applied, added, discovered, cut=False)
+        return RoundResult(
+            applied, added, discovered, cut=False, vacuous=vacuous
+        )
 
     def undo(self, token: ApplyToken) -> None:
         """Revert one :meth:`apply` (strict LIFO discipline).
@@ -421,6 +500,8 @@ class ChaseEngine:
         trigger is *not* re-inserted into ``pending``; the caller that
         popped it re-inserts it at its original position.
         """
+        if self.stats is not None:
+            self.stats.undos += 1
         if not token.added:
             return
         for _ in token.discovered:

@@ -17,13 +17,21 @@ from repro.core.instance import Instance
 from repro.chase.checkpoint import Budget, ChaseCheckpoint
 from repro.chase.engine import ChaseEngine
 from repro.errors import ChaseInterrupted
+from repro.obs import clock, trace
 from repro.tgds.tgd import TGD
 
 
 class ObliviousResult:
     """Outcome of an oblivious chase run."""
 
-    def __init__(self, instance: Instance, terminated: bool, rounds: int, applications: int):
+    def __init__(
+        self,
+        instance: Instance,
+        terminated: bool,
+        rounds: int,
+        applications: int,
+        stats=None,
+    ):
         #: The fixpoint (or cut-off) instance.
         self.instance = instance
         #: True iff a fixpoint was reached within the bounds.
@@ -32,6 +40,9 @@ class ObliviousResult:
         self.rounds = rounds
         #: Number of trigger applications (counting only atom-producing ones).
         self.applications = applications
+        #: The caller's :class:`repro.obs.stats.ChaseStats` sink, echoed
+        #: back filled (None when the run carried no telemetry).
+        self.stats = stats
 
     def __repr__(self) -> str:
         state = "terminated" if self.terminated else "cut off"
@@ -51,6 +62,7 @@ def oblivious_chase(
     parallel_backend: str = "process",
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
+    stats=None,
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
@@ -82,13 +94,17 @@ def oblivious_chase(
         from repro.chase.chaos import build_matcher
 
         matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
+    if stats is not None and not stats.kind:
+        stats.kind = "oblivious"
     if resume is not None:
         resume.require_kind("oblivious")
-        engine = resume.restore_engine(tgds, matcher=matcher)
+        engine = resume.restore_engine(tgds, matcher=matcher, stats=stats)
         applications = resume.applications
         rounds = resume.rounds
     else:
-        engine = ChaseEngine(database, tgds, track_witnesses=False, matcher=matcher)
+        engine = ChaseEngine(
+            database, tgds, track_witnesses=False, matcher=matcher, stats=stats
+        )
         applications = 0
         rounds = 0
     if budget is not None:
@@ -96,6 +112,8 @@ def oblivious_chase(
     if strategy == "semi_naive":
 
         def interrupt(reason: str):
+            if stats is not None:
+                stats.record_cut(reason)
             raise ChaseInterrupted(
                 reason,
                 checkpoint=ChaseCheckpoint.capture(
@@ -105,49 +123,60 @@ def oblivious_chase(
                 partial={"rounds": rounds, "applications": applications},
             )
 
+        run_start = clock.perf_counter() if stats is not None else 0.0
         try:
-            while engine.pending or engine.mid_round():
-                if rounds >= max_rounds or len(engine.instance) > max_atoms:
-                    return ObliviousResult(
-                        engine.instance, False, rounds, applications
-                    )
-                if budget is not None:
-                    if budget.rounds_exhausted():
-                        interrupt("budget:rounds")
-                    reason = budget.exceeded(len(engine.instance))
-                    if reason is not None:
-                        interrupt(reason)
-                if not engine.mid_round():
-                    # A resumed mid-round continuation was already counted
-                    # by the call that started the round.
-                    rounds += 1
-                round_result = engine.run_round(max_atoms=max_atoms, budget=budget)
-                applications += len(round_result.delta)
-                if round_result.cut:
-                    if round_result.reason == "max_atoms":
+            with trace.span("chase.run", kind="oblivious"):
+                while engine.pending or engine.mid_round():
+                    if rounds >= max_rounds or len(engine.instance) > max_atoms:
                         return ObliviousResult(
-                            engine.instance, False, rounds, applications
+                            engine.instance, False, rounds, applications, stats=stats
                         )
-                    interrupt(round_result.reason)
-                if budget is not None:
-                    budget.charge_round()
-            return ObliviousResult(engine.instance, True, rounds, applications)
+                    if budget is not None:
+                        if budget.rounds_exhausted():
+                            interrupt("budget:rounds")
+                        reason = budget.exceeded(len(engine.instance))
+                        if reason is not None:
+                            interrupt(reason)
+                    if not engine.mid_round():
+                        # A resumed mid-round continuation was already counted
+                        # by the call that started the round.
+                        rounds += 1
+                    round_result = engine.run_round(max_atoms=max_atoms, budget=budget)
+                    applications += len(round_result.delta)
+                    if round_result.cut:
+                        if round_result.reason == "max_atoms":
+                            return ObliviousResult(
+                                engine.instance, False, rounds, applications, stats=stats
+                            )
+                        interrupt(round_result.reason)
+                    if budget is not None:
+                        budget.charge_round()
+            return ObliviousResult(engine.instance, True, rounds, applications, stats=stats)
         finally:
+            if stats is not None:
+                stats.wall_seconds += clock.perf_counter() - run_start
+                stats.absorb_engine(engine)
+                if matcher is not None:
+                    stats.absorb_matcher(matcher)
             if matcher is not None:
                 matcher.close()
     if strategy != "per_trigger":
         raise ValueError(f"unknown oblivious strategy {strategy!r}")
     while engine.pending:
         if rounds >= max_rounds or len(engine.instance) > max_atoms:
-            return ObliviousResult(engine.instance, False, rounds, applications)
+            return ObliviousResult(
+                engine.instance, False, rounds, applications, stats=stats
+            )
         rounds += 1
         for trigger in engine.take_pending():
             token = engine.apply(trigger)
             if token.added:
                 applications += 1
             if len(engine.instance) > max_atoms:
-                return ObliviousResult(engine.instance, False, rounds, applications)
-    return ObliviousResult(engine.instance, True, rounds, applications)
+                return ObliviousResult(
+                    engine.instance, False, rounds, applications, stats=stats
+                )
+    return ObliviousResult(engine.instance, True, rounds, applications, stats=stats)
 
 
 def oblivious_chase_terminates(

@@ -41,10 +41,8 @@ fallback ladder.
 
 from __future__ import annotations
 
-import logging
 import multiprocessing
 import threading
-import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -52,11 +50,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.instance import Instance
 from repro.chase.trigger import Trigger, match_pivot_bucket, seminaive_triggers
 from repro.errors import ParallelDiscoveryError, ResultIntegrityError
+from repro.obs import clock, metrics, trace
+from repro.obs.log import get_logger
 from repro.tgds.tgd import TGD
 
 #: Structured fault/fallback events (worker retries, fresh pools, backend
 #: degradation) are emitted here; tests and operators subscribe by name.
-_LOGGER = logging.getLogger("repro.chase.parallel")
+_LOGGER = get_logger(__name__)
 
 #: Errors that mean "the pool could not run", triggering the threaded
 #: fallback.  OSError covers fork/pipe/resource failures (including
@@ -147,10 +147,36 @@ def _match_chunks(
     return rows
 
 
-def _discover_task(chunks) -> List[tuple]:
-    """Process-pool task entry point: reads the fork-inherited round state."""
+def _discover_task(chunks) -> tuple:
+    """Process-pool task entry point: reads the fork-inherited round state.
+
+    Returns the payload ``(rows, busy_seconds)`` — the worker times its own
+    matching work so the master can report busy-vs-wall pool efficiency
+    without any extra round trips.
+    """
     tgds, instance, delta = _FORK_STATE
-    return _match_chunks(tgds, instance, delta, chunks)
+    start = clock.perf_counter()
+    rows = _match_chunks(tgds, instance, delta, chunks)
+    return rows, clock.perf_counter() - start
+
+
+def _unpack_payload(tgds: Sequence[TGD], payload) -> Tuple[List[tuple], float]:
+    """Validate one worker payload ``(rows, busy_seconds)``; returns it.
+
+    The payload wrapper is checked here, the rows themselves by
+    :func:`_validate_rows` — both raise :class:`ResultIntegrityError`, the
+    retry ladder's rung-1 trigger.
+    """
+    if not (isinstance(payload, tuple) and len(payload) == 2):
+        raise ResultIntegrityError(
+            f"worker returned {type(payload).__name__}, "
+            "expected a (rows, busy_seconds) payload"
+        )
+    rows, busy = payload
+    if not isinstance(busy, (int, float)) or busy < 0:
+        raise ResultIntegrityError(f"worker payload has bad busy time {busy!r}")
+    _validate_rows(tgds, rows)
+    return rows, float(busy)
 
 
 def _validate_rows(tgds: Sequence[TGD], rows) -> None:
@@ -245,9 +271,17 @@ class ParallelMatcher:
         #: Observability counters (tests assert the pool actually ran).
         self.rounds_parallel = 0
         self.rounds_serial = 0
-        #: Fault counters: task resubmissions and pool rebuilds survived.
+        #: Fault counters: task resubmissions, pool rebuilds, and runtime
+        #: process->thread degradations survived.
         self.chunk_retries = 0
         self.fresh_pools = 0
+        self.backend_fallbacks = 0
+        #: Profile counters, folded into :class:`repro.obs.stats.ChaseStats`
+        #: by ``absorb_matcher``: summed worker-side task durations, the
+        #: master wall spent draining pools, and the merge wall.
+        self.busy_seconds = 0.0
+        self.pool_wall_seconds = 0.0
+        self.merge_seconds = 0.0
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -338,6 +372,8 @@ class ParallelMatcher:
                     raise
                 fresh_pools_left -= 1
                 self.fresh_pools += 1
+                if metrics.ENABLED:
+                    metrics.counter("chase.pool.fresh")
                 _LOGGER.warning(
                     "process pool collapsed (%r); rerunning %d unfinished "
                     "task(s) on a fresh pool",
@@ -358,8 +394,9 @@ class ParallelMatcher:
             attempts = 0
             while True:
                 try:
-                    rows = self._fetch(futures[index], index)
-                    _validate_rows(self.tgds, rows)
+                    payload = self._fetch(futures[index], index)
+                    rows, busy = _unpack_payload(self.tgds, payload)
+                    self.busy_seconds += busy
                     results[index] = rows
                     break
                 except _POOL_ERRORS:
@@ -369,6 +406,8 @@ class ParallelMatcher:
                     if attempts > self.retries:
                         raise
                     self.chunk_retries += 1
+                    if metrics.ENABLED:
+                        metrics.counter("chase.pool.retries")
                     _LOGGER.warning(
                         "discovery task %d failed (%r); resubmitting "
                         "(attempt %d/%d)",
@@ -382,7 +421,7 @@ class ParallelMatcher:
                             "pool_error": repr(error),
                         },
                     )
-                    time.sleep(self.retry_backoff * (2 ** (attempts - 1)))
+                    clock.sleep(self.retry_backoff * (2 ** (attempts - 1)))
                     futures[index] = pool.submit(_discover_task, tasks[index])
 
     def _run_threads(self, instance: Instance, delta, tasks) -> List[list]:
@@ -390,8 +429,18 @@ class ParallelMatcher:
             self._thread_pool = ThreadPoolExecutor(
                 max_workers=self.workers, thread_name_prefix="chase-matcher"
             )
-        run = lambda chunks: _match_chunks(self.tgds, instance, delta, chunks)
-        return list(self._thread_pool.map(run, tasks))
+
+        def run(chunks):
+            start = clock.perf_counter()
+            rows = _match_chunks(self.tgds, instance, delta, chunks)
+            return rows, clock.perf_counter() - start
+
+        payloads = list(self._thread_pool.map(run, tasks))
+        results = []
+        for rows, busy in payloads:
+            self.busy_seconds += busy
+            results.append(rows)
+        return results
 
     def discover(self, instance: Instance, delta) -> List[Trigger]:
         """The round's new triggers in ``(birth, canonical_key)`` order.
@@ -404,7 +453,8 @@ class ParallelMatcher:
         if self.backend == "serial":
             self.rounds_serial += 1
             return seminaive_triggers(self.tgds, instance, delta)
-        tasks, total = self._plan(delta)
+        with trace.span("round.plan"):
+            tasks, total = self._plan(delta)
         if not tasks:
             self.rounds_serial += 1
             return []
@@ -412,33 +462,45 @@ class ParallelMatcher:
             self.rounds_serial += 1
             return seminaive_triggers(self.tgds, instance, delta)
         results: Optional[List[list]] = None
-        if self.backend == "process":
-            try:
-                results = self._run_process(instance, delta, tasks)
-            except Exception as error:
-                # The ladder's last rung: retries and the fresh pool are
-                # spent (or the failure is not pool-shaped at all) — pin the
-                # run to threads and recompute the round from scratch.
-                _LOGGER.warning(
-                    "process pool unavailable (%r); "
-                    "falling back to threaded discovery",
-                    error,
-                    extra={
-                        "backend": "process",
-                        "pool_workers": self.workers,
-                        "pool_error": repr(error),
-                    },
-                )
-                self.backend = "thread"
-        if results is None:
-            try:
-                results = self._run_threads(instance, delta, tasks)
-            except Exception as error:
-                raise ParallelDiscoveryError(
-                    f"threaded discovery fallback failed: {error!r}"
-                ) from error
+        pool_start = clock.perf_counter()
+        with trace.span("round.exec", tasks=len(tasks), work=total):
+            if self.backend == "process":
+                try:
+                    results = self._run_process(instance, delta, tasks)
+                except Exception as error:
+                    # The ladder's last rung: retries and the fresh pool are
+                    # spent (or the failure is not pool-shaped at all) — pin
+                    # the run to threads and recompute the round from scratch.
+                    _LOGGER.warning(
+                        "process pool unavailable (%r); "
+                        "falling back to threaded discovery",
+                        error,
+                        extra={
+                            "backend": "process",
+                            "pool_workers": self.workers,
+                            "pool_error": repr(error),
+                        },
+                    )
+                    self.backend_fallbacks += 1
+                    if metrics.ENABLED:
+                        metrics.counter("chase.pool.fallbacks")
+                    self.backend = "thread"
+            if results is None:
+                try:
+                    results = self._run_threads(instance, delta, tasks)
+                except Exception as error:
+                    raise ParallelDiscoveryError(
+                        f"threaded discovery fallback failed: {error!r}"
+                    ) from error
+        self.pool_wall_seconds += clock.perf_counter() - pool_start
         self.rounds_parallel += 1
-        return _merge(self.tgds, results)
+        if metrics.ENABLED:
+            metrics.counter("chase.pool.rounds")
+        merge_start = clock.perf_counter()
+        with trace.span("round.merge", tasks=len(results)):
+            merged = _merge(self.tgds, results)
+        self.merge_seconds += clock.perf_counter() - merge_start
+        return merged
 
 
 def _merge(tgds: Sequence[TGD], results: List[list]) -> List[Trigger]:

@@ -37,6 +37,7 @@ from repro.chase.derivation import Derivation
 from repro.chase.engine import ChaseEngine
 from repro.chase.trigger import Trigger, active_triggers_on
 from repro.errors import ChaseInterrupted, SearchBudgetExceeded
+from repro.obs import clock, trace
 from repro.tgds.tgd import TGD
 
 StrategyFn = Callable[[List[Trigger], Instance], int]
@@ -58,6 +59,7 @@ class ChaseResult:
         terminated: bool,
         steps: int,
         rounds: Optional[int] = None,
+        stats=None,
     ):
         #: The final (or cut-off) instance.
         self.instance = instance
@@ -69,6 +71,9 @@ class ChaseResult:
         self.steps = steps
         #: Completed semi-naive rounds (None for step-at-a-time strategies).
         self.rounds = rounds
+        #: The :class:`repro.obs.stats.ChaseStats` sink the caller passed
+        #: in, echoed back filled (None when the run carried no telemetry).
+        self.stats = stats
 
     def __repr__(self) -> str:
         state = "terminated" if self.terminated else "cut off"
@@ -100,6 +105,7 @@ def restricted_chase(
     parallel_backend: str = "process",
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
+    stats=None,
 ) -> ChaseResult:
     """Run one restricted chase derivation.
 
@@ -120,6 +126,12 @@ def restricted_chase(
     restores such a checkpoint (``database`` is then ignored and may be
     None) and continues byte-identically to an uninterrupted run.  Both
     require a deterministic strategy (:data:`RESUMABLE_STRATEGIES`).
+
+    ``stats`` is an optional :class:`repro.obs.stats.ChaseStats` sink,
+    filled during the run and echoed back on ``ChaseResult.stats`` (and on
+    the interrupt's checkpoint path the caller's object is already
+    populated).  Strictly passive: a run with stats attached is
+    byte-identical to one without.
     """
     if strategy == "semi_naive":
         return seminaive_chase(
@@ -130,6 +142,7 @@ def restricted_chase(
             parallel_backend=parallel_backend,
             budget=budget,
             resume=resume,
+            stats=stats,
         )
     if (budget is not None or resume is not None) and (
         callable(strategy) or strategy not in RESUMABLE_STRATEGIES
@@ -139,42 +152,63 @@ def restricted_chase(
             f"{RESUMABLE_STRATEGIES}, got {strategy!r}"
         )
     kind = f"restricted:{strategy}"
+    if stats is not None and not stats.kind:
+        stats.kind = kind
     choose = _resolve_strategy(strategy, seed)
     if resume is not None:
         resume.require_kind(kind)
-        engine = resume.restore_engine(tgds)
+        engine = resume.restore_engine(tgds, stats=stats)
         derivation = resume.restore_derivation()
         steps = resume.steps
     else:
-        engine = ChaseEngine(database, tgds)
+        engine = ChaseEngine(database, tgds, stats=stats)
         derivation = Derivation(engine.instance)
         steps = 0
     if budget is not None:
         budget.start()
-    while engine.pending:
-        if steps >= max_steps:
-            return ChaseResult(engine.instance, derivation, terminated=False, steps=steps)
-        if budget is not None:
-            reason = budget.exceeded(len(engine.instance))
-            if reason is not None:
-                raise ChaseInterrupted(
-                    reason,
-                    checkpoint=ChaseCheckpoint.capture(
-                        engine, kind, derivation=derivation, steps=steps
-                    ),
-                    instance=engine.instance,
-                    partial={"steps": steps},
-                )
-        index = choose(engine.pending, engine.instance)
-        trigger = engine.pending.pop(index)
-        if not engine.is_active(trigger):
-            continue
-        engine.apply(trigger)
-        derivation.append(trigger)
-        steps += 1
-        if budget is not None:
-            budget.charge_application()
-    return ChaseResult(engine.instance, derivation, terminated=True, steps=steps)
+    run_start = clock.perf_counter() if stats is not None else 0.0
+    try:
+        with trace.span("chase.run", kind=kind):
+            while engine.pending:
+                if steps >= max_steps:
+                    return ChaseResult(
+                        engine.instance,
+                        derivation,
+                        terminated=False,
+                        steps=steps,
+                        stats=stats,
+                    )
+                if budget is not None:
+                    reason = budget.exceeded(len(engine.instance))
+                    if reason is not None:
+                        if stats is not None:
+                            stats.record_cut(reason)
+                        raise ChaseInterrupted(
+                            reason,
+                            checkpoint=ChaseCheckpoint.capture(
+                                engine, kind, derivation=derivation, steps=steps
+                            ),
+                            instance=engine.instance,
+                            partial={"steps": steps},
+                        )
+                index = choose(engine.pending, engine.instance)
+                trigger = engine.pending.pop(index)
+                if not engine.is_active(trigger):
+                    if stats is not None:
+                        stats.triggers_vacuous += 1
+                    continue
+                engine.apply(trigger)
+                derivation.append(trigger)
+                steps += 1
+                if budget is not None:
+                    budget.charge_application()
+        return ChaseResult(
+            engine.instance, derivation, terminated=True, steps=steps, stats=stats
+        )
+    finally:
+        if stats is not None:
+            stats.wall_seconds += clock.perf_counter() - run_start
+            stats.absorb_engine(engine)
 
 
 def seminaive_chase(
@@ -185,6 +219,7 @@ def seminaive_chase(
     parallel_backend: str = "process",
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
+    stats=None,
 ) -> ChaseResult:
     """The set-at-a-time restricted chase (``strategy="semi_naive"``).
 
@@ -214,14 +249,16 @@ def seminaive_chase(
         from repro.chase.chaos import build_matcher
 
         matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
+    if stats is not None and not stats.kind:
+        stats.kind = "semi_naive"
     if resume is not None:
         resume.require_kind("semi_naive")
-        engine = resume.restore_engine(tgds, matcher=matcher)
+        engine = resume.restore_engine(tgds, matcher=matcher, stats=stats)
         derivation = resume.restore_derivation()
         steps = resume.steps
         rounds = resume.rounds
     else:
-        engine = ChaseEngine(database, tgds, matcher=matcher)
+        engine = ChaseEngine(database, tgds, matcher=matcher, stats=stats)
         derivation = Derivation(engine.instance)
         steps = 0
         rounds = 0
@@ -229,6 +266,8 @@ def seminaive_chase(
         budget.start()
 
     def interrupt(reason: str):
+        if stats is not None:
+            stats.record_cut(reason)
         raise ChaseInterrupted(
             reason,
             checkpoint=ChaseCheckpoint.capture(
@@ -238,33 +277,49 @@ def seminaive_chase(
             partial={"steps": steps, "rounds": rounds},
         )
 
+    run_start = clock.perf_counter() if stats is not None else 0.0
     try:
-        while engine.pending or engine.mid_round():
-            if budget is not None:
-                if budget.rounds_exhausted():
-                    interrupt("budget:rounds")
-                reason = budget.exceeded(len(engine.instance))
-                if reason is not None:
-                    interrupt(reason)
-            round_result = engine.run_round(
-                max_applications=max_steps - steps, budget=budget
-            )
-            for trigger in round_result.applied:
-                derivation.append(trigger)
-            steps += len(round_result.applied)
-            if round_result.cut:
-                if round_result.reason == "max_applications":
-                    return ChaseResult(
-                        engine.instance, derivation, terminated=False, steps=steps
-                    )
-                interrupt(round_result.reason)
-            rounds += 1
-            if budget is not None:
-                budget.charge_round()
+        with trace.span("chase.run", kind="semi_naive"):
+            while engine.pending or engine.mid_round():
+                if budget is not None:
+                    if budget.rounds_exhausted():
+                        interrupt("budget:rounds")
+                    reason = budget.exceeded(len(engine.instance))
+                    if reason is not None:
+                        interrupt(reason)
+                round_result = engine.run_round(
+                    max_applications=max_steps - steps, budget=budget
+                )
+                for trigger in round_result.applied:
+                    derivation.append(trigger)
+                steps += len(round_result.applied)
+                if round_result.cut:
+                    if round_result.reason == "max_applications":
+                        return ChaseResult(
+                            engine.instance,
+                            derivation,
+                            terminated=False,
+                            steps=steps,
+                            stats=stats,
+                        )
+                    interrupt(round_result.reason)
+                rounds += 1
+                if budget is not None:
+                    budget.charge_round()
         return ChaseResult(
-            engine.instance, derivation, terminated=True, steps=steps, rounds=rounds
+            engine.instance,
+            derivation,
+            terminated=True,
+            steps=steps,
+            rounds=rounds,
+            stats=stats,
         )
     finally:
+        if stats is not None:
+            stats.wall_seconds += clock.perf_counter() - run_start
+            stats.absorb_engine(engine)
+            if matcher is not None:
+                stats.absorb_matcher(matcher)
         if matcher is not None:
             matcher.close()
 

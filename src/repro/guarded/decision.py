@@ -40,6 +40,7 @@ from repro.chase.checkpoint import Budget
 from repro.chase.derivation import Derivation, DerivationError
 from repro.chase.restricted import restricted_chase
 from repro.errors import ChaseInterrupted
+from repro.obs import clock, trace
 from repro.chase.trigger import Trigger, is_active
 from repro.core.homomorphism import is_homomorphism
 from repro.termination.critical import critical_oblivious_verdict
@@ -225,11 +226,13 @@ def _suspect_scan(payload):
     Module-level so :func:`repro.chase.parallel.parallel_map` can ship it to
     a process pool; the payload is ``(database, tgds, max_steps, replays)``
     — optionally extended with a fifth element, the remaining wall-clock
-    seconds — and the returned :class:`PumpWitness` (or None, or the
-    ``"timeout"`` sentinel) pickles back.  The strategy ladder — a
-    divergence-biased LIFO probe, then the semi-naive engine
-    (byte-identical to fifo) — is exactly the serial loop's, so a parallel
-    scan reproduces serial verdicts database for database.
+    seconds — and the returned ``(outcome, seconds)`` pair pickles back,
+    where ``outcome`` is the :class:`PumpWitness` (or None, or the
+    ``"timeout"`` sentinel) and ``seconds`` is the task's own duration for
+    the decider stats.  The strategy ladder — a divergence-biased LIFO
+    probe, then the semi-naive engine (byte-identical to fifo) — is exactly
+    the serial loop's, so a parallel scan reproduces serial verdicts
+    database for database.
     """
     if len(payload) == 4:
         database, tgds, max_steps, replays = payload
@@ -237,21 +240,31 @@ def _suspect_scan(payload):
     else:
         database, tgds, max_steps, replays, remaining = payload
     budget = Budget(wall_seconds=remaining) if remaining is not None else None
-    try:
-        # semi_naive is byte-identical to fifo but pays trigger discovery
-        # once per round — the right mode for this many independent chases.
-        for strategy in ("lifo", "semi_naive"):
-            run = restricted_chase(
-                database, tgds, strategy=strategy, max_steps=max_steps, budget=budget
-            )
-            if run.terminated:
-                continue
-            pump = find_pump(database, tgds, run.derivation, replays=replays)
-            if pump is not None:
-                return pump
-        return None
-    except ChaseInterrupted:
-        return _TIMEOUT
+    start = clock.perf_counter()
+    with trace.span("decider.suspect", atoms=len(database)):
+        try:
+            # semi_naive is byte-identical to fifo but pays trigger discovery
+            # once per round — the right mode for this many independent chases.
+            outcome = None
+            for strategy in ("lifo", "semi_naive"):
+                run = restricted_chase(
+                    database, tgds, strategy=strategy, max_steps=max_steps, budget=budget
+                )
+                if run.terminated:
+                    continue
+                pump = find_pump(database, tgds, run.derivation, replays=replays)
+                if pump is not None:
+                    outcome = pump
+                    break
+        except ChaseInterrupted:
+            outcome = _TIMEOUT
+    return outcome, clock.perf_counter() - start
+
+
+def _suspect_outcome(result) -> str:
+    if result == _TIMEOUT:
+        return "timeout"
+    return "none" if result is None else "pump"
 
 
 def scan_suspects(
@@ -261,6 +274,7 @@ def scan_suspects(
     replays: int,
     workers: int = 1,
     budget: Optional[Budget] = None,
+    stats=None,
 ) -> Optional[Tuple[Instance, PumpWitness]]:
     """Run the suspect chases; return the first (by candidate order) pump.
 
@@ -275,6 +289,10 @@ def scan_suspects(
     suspect chase runs against the remaining seconds, and exhaustion raises
     :class:`repro.errors.ChaseInterrupted` whose ``partial`` records how
     many suspect chases completed (``{"completed": n, "total": m}``).
+
+    ``stats`` (a :class:`repro.obs.stats.ChaseStats`) collects one
+    ``suspects`` entry per completed suspect chase — candidate index,
+    outcome, duration — in candidate order.
     """
     from repro.chase.parallel import parallel_map
 
@@ -282,6 +300,16 @@ def scan_suspects(
     candidates = list(candidates)
     if budget is not None:
         budget.start()
+
+    def record(index: int, result, seconds: float) -> None:
+        if stats is not None:
+            stats.suspects.append(
+                {
+                    "candidate": index,
+                    "outcome": _suspect_outcome(result),
+                    "seconds": round(seconds, 6),
+                }
+            )
 
     def interrupt(completed: int):
         raise ChaseInterrupted(
@@ -297,7 +325,8 @@ def scan_suspects(
                 if budget.out_of_time():
                     interrupt(index)
                 payload = payload + (budget.remaining_seconds(),)
-            pump = _suspect_scan(payload)
+            pump, seconds = _suspect_scan(payload)
+            record(index, pump, seconds)
             if pump == _TIMEOUT:
                 interrupt(index)
             if pump is not None:
@@ -310,8 +339,10 @@ def scan_suspects(
         for database in candidates
     ]
     results = parallel_map(_suspect_scan, payloads, workers=workers)
-    completed = sum(1 for result in results if result != _TIMEOUT)
-    for database, pump in zip(candidates, results):
+    for index, (result, seconds) in enumerate(results):
+        record(index, result, seconds)
+    completed = sum(1 for result, _ in results if result != _TIMEOUT)
+    for database, (pump, _) in zip(candidates, results):
         if pump == _TIMEOUT:
             # Candidate-order selection: a timed-out suspect ahead of every
             # pump means the serial scan would not have reached one either.
@@ -344,6 +375,7 @@ def decide_guarded(
     extra_candidates: Optional[Sequence[Instance]] = None,
     workers: int = 1,
     budget: Optional[Budget] = None,
+    stats=None,
 ) -> Verdict:
     """The certifying decision procedure for guarded sets (DESIGN.md §3).
 
@@ -354,8 +386,12 @@ def decide_guarded(
     (candidate-order) result selection — verdicts are identical to serial.
     A ``budget`` wall limit turns exhaustion into a ``TIMEOUT`` verdict
     recording how many suspect chases completed, never an engine error.
+    ``stats`` collects the per-suspect outcome/duration entries (see
+    :func:`scan_suspects`).
     """
     tgd_list = list(tgds)
+    if stats is not None and not stats.kind:
+        stats.kind = "decider"
     check_guarded_set(tgd_list)
     if budget is not None:
         budget.start()
@@ -379,7 +415,13 @@ def decide_guarded(
         candidates.extend(extra_candidates)
     try:
         hit = scan_suspects(
-            candidates, tgd_list, max_steps, replays, workers=workers, budget=budget
+            candidates,
+            tgd_list,
+            max_steps,
+            replays,
+            workers=workers,
+            budget=budget,
+            stats=stats,
         )
     except ChaseInterrupted as interrupted:
         return budget_verdict(interrupted, method="guarded-budget")

@@ -1,0 +1,54 @@
+"""Shared logger factory and structured-event helper.
+
+Every module obtains its logger as ``_LOGGER = get_logger(__name__)``,
+which lands on the ``repro.<pkg>.<mod>`` hierarchy (``repro.chase.engine``,
+``repro.guarded.decision``, ...) so operators can dial verbosity per
+subsystem with one ``logging`` incantation.  The ``repro`` root carries a
+``NullHandler`` — the library never configures handlers or levels for its
+embedder.
+
+:func:`log_event` is the structured-event convention: a stable event name
+plus ``key=value`` fields, rendered readably in the message *and* attached
+to the record (``record.event`` / ``record.event_fields``) for structured
+sinks and test assertions.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Any
+
+#: Attribute names attached to structured-event records.
+EVENT_ATTR = "event"
+FIELDS_ATTR = "event_fields"
+
+logging.getLogger("repro").addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """The ``repro.<pkg>.<mod>`` logger for a module ``__name__``.
+
+    Names already under the ``repro`` hierarchy pass through unchanged;
+    anything else (scripts, ``__main__``) is filed under ``repro.<name>``.
+    """
+    if name != "repro" and not name.startswith("repro."):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, level: int, event: str, **fields: Any) -> None:
+    """Emit one structured event: ``event key=value ...``.
+
+    The event name and the raw field dict also ride on the log record
+    (``record.event``, ``record.event_fields``), so structured handlers
+    and ``caplog`` assertions never re-parse the rendered message.
+    """
+    if not logger.isEnabledFor(level):
+        return
+    rendered = " ".join(f"{key}={value!r}" for key, value in fields.items())
+    logger.log(
+        level,
+        "%s %s" if rendered else "%s",
+        *((event, rendered) if rendered else (event,)),
+        extra={EVENT_ATTR: event, FIELDS_ATTR: dict(fields)},
+    )

@@ -1,0 +1,209 @@
+"""The Recorder protocol: counters, gauges, and histogram timers.
+
+A :class:`Recorder` is the process-wide sink for point metrics.  The
+default is :data:`NULL` — a :class:`NullRecorder` whose methods are all
+no-ops — and the instrumented hot paths additionally guard every emission
+with the module-level :data:`ENABLED` flag, so a disabled recorder costs
+one attribute read per *round* (not per trigger), a cost the
+``obs_overhead`` bench gate pins at ≤1.05× (``benchmarks/bench_obs.py``).
+
+Enable collection either programmatically::
+
+    from repro.obs import metrics
+    recorder = metrics.set_recorder(metrics.StatsRecorder())
+    ...
+    recorder.counters["chase.rounds"]
+
+or for a whole process with ``CHASE_METRICS=1`` in the environment (read
+once at import; :func:`init_from_env` re-reads for tests).
+
+Metric names are dotted strings (``chase.rounds``,
+``chase.pool.fallbacks``, ``decider.suspect.seconds``); the glossary lives
+in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional
+
+from repro.obs import clock
+
+#: Environment switch: any non-empty, non-"0" value installs a
+#: :class:`StatsRecorder` as the process-wide default at import time.
+METRICS_ENV = "CHASE_METRICS"
+
+
+class Recorder:
+    """The metric sink protocol.
+
+    Subclasses implement :meth:`counter` (monotone increments),
+    :meth:`gauge` (last-value-wins), and :meth:`observe` (histogram
+    samples); :meth:`timer` is derived — a context manager observing its
+    block's wall duration into the named histogram.
+    """
+
+    def counter(self, name: str, value: float = 1) -> None:
+        raise NotImplementedError
+
+    def gauge(self, name: str, value: float) -> None:
+        raise NotImplementedError
+
+    def observe(self, name: str, value: float) -> None:
+        raise NotImplementedError
+
+    def timer(self, name: str) -> "_Timer":
+        return _Timer(self, name)
+
+
+class _Timer:
+    """Context manager: observes the block's duration into a histogram."""
+
+    __slots__ = ("_recorder", "_name", "_start")
+
+    def __init__(self, recorder: Recorder, name: str):
+        self._recorder = recorder
+        self._name = name
+        self._start = 0.0
+
+    def __enter__(self) -> "_Timer":
+        self._start = clock.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._recorder.observe(self._name, clock.perf_counter() - self._start)
+
+
+class NullRecorder(Recorder):
+    """Accepts everything, records nothing — the shipping default."""
+
+    def counter(self, name: str, value: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def observe(self, name: str, value: float) -> None:
+        pass
+
+
+class Histogram:
+    """A streaming summary of observed samples (count/total/min/max)."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, mean={self.mean:.6f})"
+
+
+class StatsRecorder(Recorder):
+    """In-memory recorder: plain dicts, deterministic, picklable."""
+
+    def __init__(self):
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        self.gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram()
+        histogram.add(value)
+
+    def as_dict(self) -> dict:
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: histogram.as_dict()
+                for name, histogram in self.histograms.items()
+            },
+        }
+
+
+#: The shared disabled sink; identity-compared by :func:`metrics_enabled`.
+NULL = NullRecorder()
+
+#: Module-level hot-path guard: instrumentation sites check this flag
+#: before touching the recorder, so disabled telemetry is one global read.
+ENABLED = False
+
+_RECORDER: Recorder = NULL
+
+
+def get_recorder() -> Recorder:
+    return _RECORDER
+
+
+def set_recorder(recorder: Optional[Recorder]) -> Recorder:
+    """Install the process-wide recorder (None restores the NullRecorder).
+
+    Returns the recorder now installed, so
+    ``rec = set_recorder(StatsRecorder())`` reads naturally.
+    """
+    global _RECORDER, ENABLED
+    _RECORDER = NULL if recorder is None else recorder
+    ENABLED = not isinstance(_RECORDER, NullRecorder)
+    return _RECORDER
+
+
+def metrics_enabled() -> bool:
+    return ENABLED
+
+
+def counter(name: str, value: float = 1) -> None:
+    if ENABLED:
+        _RECORDER.counter(name, value)
+
+
+def gauge(name: str, value: float) -> None:
+    if ENABLED:
+        _RECORDER.gauge(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    if ENABLED:
+        _RECORDER.observe(name, value)
+
+
+def init_from_env(environ=None) -> None:
+    """Apply ``CHASE_METRICS`` (called at import; tests call it directly)."""
+    environ = os.environ if environ is None else environ
+    if environ.get(METRICS_ENV, "") not in ("", "0"):
+        set_recorder(StatsRecorder())
+
+
+init_from_env()

@@ -75,15 +75,25 @@ class TerminationAnalyzer:
     def classify(self, tgds: Sequence[TGD]) -> Classification:
         return Classification(tgds)
 
-    def analyze(self, tgds: Sequence[TGD], budget: Optional[Budget] = None) -> Verdict:
+    def analyze(
+        self,
+        tgds: Sequence[TGD],
+        budget: Optional[Budget] = None,
+        stats=None,
+    ) -> Verdict:
         """Decide / semi-decide membership in ``CT_res_∀∀``.
 
         ``budget`` is a per-run :class:`repro.chase.checkpoint.Budget`
         threaded into the divergence-suspect scans; wall-clock exhaustion
         yields a ``TIMEOUT`` verdict recording the completed suspect count
-        instead of an exception.
+        instead of an exception.  ``stats`` is an optional
+        :class:`repro.obs.stats.ChaseStats` threaded the same way; the
+        suspect scans fill its ``suspects`` entries (strictly passive —
+        verdicts are identical with or without it).
         """
         tgd_list = list(tgds)
+        if stats is not None and not stats.kind:
+            stats.kind = "decider"
         classification = self.classify(tgd_list)
         if classification.sticky:
             verdict = decide_sticky(tgd_list, max_states=self.sticky_max_states)
@@ -96,6 +106,7 @@ class TerminationAnalyzer:
                 replays=self.replays,
                 workers=self.workers,
                 budget=budget,
+                stats=stats,
             )
         # General single-head TGDs: sound certificates + sound witnesses only.
         certificate = terminating_certificate(tgd_list)
@@ -126,6 +137,7 @@ class TerminationAnalyzer:
                 self.replays,
                 workers=self.workers,
                 budget=budget,
+                stats=stats,
             )
         except ChaseInterrupted as interrupted:
             return budget_verdict(interrupted, method="general-budget")

@@ -14,10 +14,12 @@ def make_report(
     seminaive_speedup=2.5,
     parallel_speedup=2.0,
     checkpoint_overhead=1.05,
+    obs_overhead=1.02,
     identical=True,
     seminaive_identical=True,
     parallel_identical=True,
     checkpoint_identical=True,
+    obs_identical=True,
     cpu_count=8,
 ):
     return {
@@ -27,6 +29,7 @@ def make_report(
             "parallel_threshold": 1.5,
             "parallel_gate_min_cpus": 4,
             "checkpoint_overhead_threshold": 1.1,
+            "obs_overhead_threshold": 1.05,
         },
         "speedups": [
             {
@@ -76,6 +79,30 @@ def make_report(
                 "overhead_ratio": checkpoint_overhead,
                 "identical_instances": checkpoint_identical,
                 "identical_derivations": True,
+            },
+        ],
+        "obs_overheads": [
+            {
+                "workload": "obs_dense",
+                "size": 64,
+                "overhead_ratio": 1.2,  # small sizes are not gated
+                "identical_instances": obs_identical,
+                "identical_derivations": True,
+            },
+            {
+                "workload": "obs_dense",
+                "size": 128,
+                "overhead_ratio": obs_overhead,
+                "identical_instances": obs_identical,
+                "identical_derivations": True,
+                "stats": {
+                    "rounds": 32,
+                    "triggers_discovered": 4096,
+                    "triggers_fired": 3072,
+                    "cache_lookups": 100,
+                    "cache_hits": 25,
+                    "cache_hit_rate": 0.25,
+                },
             },
         ],
     }
@@ -187,3 +214,71 @@ def test_missing_checkpoint_section_is_fatal():
     del report["checkpoint_overheads"]
     failures = gate(report, margin=1.0)
     assert any("no checkpoint_overheads" in f for f in failures)
+
+
+def test_obs_overhead_regression_caught():
+    failures = gate(make_report(obs_overhead=1.2), margin=1.0)
+    assert any("obs_dense" in f and "above" in f for f in failures)
+
+
+def test_obs_overhead_small_sizes_not_gated():
+    # The n=64 fixture row sits at 1.2x — above the ceiling, but only the
+    # largest size is held to it.
+    assert gate(make_report(), margin=1.0) == []
+
+
+def test_obs_margin_loosens_the_ceiling():
+    # Overhead is lower-is-better: margin 0.8 raises the ceiling to
+    # 1.05 / 0.8 ≈ 1.31x, so a 1.2x row passes.
+    assert gate(make_report(obs_overhead=1.2), margin=1.0)
+    assert gate(make_report(obs_overhead=1.2), margin=0.8) == []
+
+
+def test_obs_equivalence_fatal():
+    failures = gate(make_report(obs_identical=False), margin=1.0)
+    assert any(f.startswith("equivalence: obs_dense") for f in failures)
+
+
+def test_missing_obs_section_is_a_note_not_a_failure():
+    # Pre-telemetry snapshots must keep passing: the gate records a note
+    # instead of a failure when the section is absent.
+    report = make_report()
+    del report["obs_overheads"]
+    failures = gate(report, margin=1.0)
+    assert failures == [
+        "note: report has no obs_overheads section (pre-telemetry snapshot)"
+        " — telemetry gate not applied"
+    ]
+
+
+def test_stats_invariant_violation_is_fatal():
+    report = make_report()
+    report["obs_overheads"][1]["stats"]["triggers_fired"] = 9999
+    failures = gate(report, margin=1.0)
+    assert any(
+        f.startswith("equivalence:") and "exceeds discovered" in f
+        for f in failures
+    )
+
+
+def test_stats_hit_rate_out_of_range_is_fatal():
+    report = make_report()
+    report["obs_overheads"][1]["stats"]["cache_hit_rate"] = 1.5
+    failures = gate(report, margin=1.0)
+    assert any("cache_hit_rate" in f for f in failures)
+
+
+def test_stats_negative_counter_is_fatal():
+    report = make_report()
+    report["seminaive_speedups"][0]["stats"] = {"rounds": -1}
+    failures = gate(report, margin=1.0)
+    assert any(
+        f.startswith("equivalence:") and "negative" in f for f in failures
+    )
+
+
+def test_rows_without_stats_are_fine():
+    # Older snapshots carry no embedded stats dicts at all.
+    report = make_report()
+    del report["obs_overheads"][1]["stats"]
+    assert gate(report, margin=1.0) == []

@@ -1,0 +1,26 @@
+"""Fixtures for the observability suite: swap in a FakeClock, restore after."""
+
+import pytest
+
+from repro.obs import clock, metrics
+
+
+@pytest.fixture
+def fake_clock():
+    """Install a FakeClock process-wide for one test; restore on exit."""
+    fake = clock.FakeClock()
+    previous = clock.set_clock(fake)
+    try:
+        yield fake
+    finally:
+        clock.set_clock(previous)
+
+
+@pytest.fixture
+def stats_recorder():
+    """Install a StatsRecorder process-wide for one test; restore on exit."""
+    recorder = metrics.set_recorder(metrics.StatsRecorder())
+    try:
+        yield recorder
+    finally:
+        metrics.set_recorder(None)

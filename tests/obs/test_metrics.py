@@ -1,0 +1,107 @@
+"""The Recorder protocol, the module-flag hot path, and CHASE_METRICS."""
+
+from repro.obs import metrics
+from repro.obs.metrics import Histogram, NullRecorder, StatsRecorder
+
+
+class TestNullRecorder:
+    def test_accepts_everything_silently(self):
+        null = NullRecorder()
+        null.counter("a")
+        null.gauge("b", 2.0)
+        null.observe("c", 0.5)
+        with null.timer("d"):
+            pass
+
+    def test_is_the_default(self):
+        assert isinstance(metrics.get_recorder(), NullRecorder)
+        assert not metrics.ENABLED
+
+
+class TestStatsRecorder:
+    def test_counters_accumulate(self):
+        recorder = StatsRecorder()
+        recorder.counter("chase.rounds")
+        recorder.counter("chase.rounds", 2)
+        assert recorder.counters == {"chase.rounds": 3}
+
+    def test_gauges_last_value_wins(self):
+        recorder = StatsRecorder()
+        recorder.gauge("queue.depth", 7)
+        recorder.gauge("queue.depth", 2)
+        assert recorder.gauges == {"queue.depth": 2}
+
+    def test_histograms_summarize(self):
+        recorder = StatsRecorder()
+        for value in (1.0, 3.0, 2.0):
+            recorder.observe("round.delta", value)
+        histogram = recorder.histograms["round.delta"]
+        assert histogram.count == 3
+        assert histogram.total == 6.0
+        assert histogram.mean == 2.0
+        assert histogram.min == 1.0 and histogram.max == 3.0
+
+    def test_timer_observes_block_duration(self, fake_clock):
+        recorder = StatsRecorder()
+        with recorder.timer("round.seconds"):
+            fake_clock.advance(0.25)
+        histogram = recorder.histograms["round.seconds"]
+        assert histogram.count == 1
+        assert histogram.total == 0.25
+
+    def test_as_dict_round_trips_to_plain_data(self):
+        recorder = StatsRecorder()
+        recorder.counter("a")
+        recorder.observe("b", 1.0)
+        rendered = recorder.as_dict()
+        assert rendered["counters"] == {"a": 1}
+        assert rendered["histograms"]["b"]["count"] == 1
+
+
+class TestHistogram:
+    def test_empty_histogram_mean_is_zero(self):
+        histogram = Histogram()
+        assert histogram.mean == 0.0
+        assert histogram.as_dict()["min"] is None
+
+
+class TestModuleSwitch:
+    def test_set_recorder_flips_enabled(self):
+        try:
+            installed = metrics.set_recorder(StatsRecorder())
+            assert metrics.ENABLED and metrics.metrics_enabled()
+            assert metrics.get_recorder() is installed
+        finally:
+            metrics.set_recorder(None)
+        assert not metrics.ENABLED
+        assert isinstance(metrics.get_recorder(), NullRecorder)
+
+    def test_module_counter_routes_when_enabled(self, stats_recorder):
+        metrics.counter("chase.rounds")
+        metrics.gauge("depth", 4)
+        metrics.observe("delta", 2.0)
+        assert stats_recorder.counters == {"chase.rounds": 1}
+        assert stats_recorder.gauges == {"depth": 4}
+        assert stats_recorder.histograms["delta"].count == 1
+
+    def test_module_counter_is_inert_when_disabled(self):
+        spy = StatsRecorder()
+        # Not installed: the module-level guard must not touch any recorder.
+        metrics.counter("chase.rounds")
+        assert spy.counters == {}
+        assert not metrics.ENABLED
+
+
+class TestEnvInit:
+    def test_env_switch_installs_stats_recorder(self):
+        try:
+            metrics.init_from_env({"CHASE_METRICS": "1"})
+            assert isinstance(metrics.get_recorder(), StatsRecorder)
+        finally:
+            metrics.set_recorder(None)
+
+    def test_zero_and_empty_stay_disabled(self):
+        metrics.init_from_env({"CHASE_METRICS": "0"})
+        assert not metrics.ENABLED
+        metrics.init_from_env({})
+        assert not metrics.ENABLED

@@ -1,0 +1,151 @@
+"""Span tracing: the off-path, the Chrome trace file, and its validator."""
+
+import json
+
+from repro.obs import trace
+
+
+def read_trace(path):
+    return json.loads(path.read_text())
+
+
+class TestDisabledPath:
+    def test_span_returns_shared_null_span(self):
+        assert not trace.tracing()
+        first = trace.span("round.apply")
+        second = trace.span("round.discover", batch=3)
+        assert first is second  # the shared no-op singleton, no allocation
+        with first:
+            pass
+
+    def test_instant_is_a_no_op(self):
+        trace.instant("round.cut", reason="budget:wall")  # must not raise
+
+    def test_stop_without_start_returns_none(self):
+        assert trace.stop_trace() is None
+
+
+class TestTraceFile:
+    def test_spans_write_complete_events(self, tmp_path):
+        path = tmp_path / "out.json"
+        trace.start_trace(str(path))
+        try:
+            with trace.span("chase.run", kind="semi_naive"):
+                with trace.span("round.discover", delta=4):
+                    pass
+            trace.instant("round.cut", reason="budget:wall")
+        finally:
+            written = trace.stop_trace()
+        assert written == str(path)
+        document = read_trace(path)
+        assert trace.validate_trace(document) == []
+        events = document["traceEvents"]
+        names = [event["name"] for event in events]
+        assert set(names) == {"chase.run", "round.discover", "round.cut"}
+        complete = [e for e in events if e["ph"] == "X"]
+        assert all(e["dur"] >= 0 for e in complete)
+        by_name = {e["name"]: e for e in events}
+        assert by_name["chase.run"]["args"] == {"kind": "semi_naive"}
+        assert by_name["round.cut"]["ph"] == "i"
+
+    def test_nesting_keeps_outer_span_longer(self, tmp_path, fake_clock):
+        path = tmp_path / "out.json"
+        trace.start_trace(str(path))
+        try:
+            with trace.span("chase.run"):
+                fake_clock.advance(1.0)
+                with trace.span("round.apply"):
+                    fake_clock.advance(2.0)
+                fake_clock.advance(1.0)
+        finally:
+            trace.stop_trace()
+        by_name = {e["name"]: e for e in read_trace(path)["traceEvents"]}
+        assert by_name["chase.run"]["dur"] == 4e6  # microseconds
+        assert by_name["round.apply"]["dur"] == 2e6
+        assert by_name["round.apply"]["ts"] >= by_name["chase.run"]["ts"]
+
+    def test_stop_is_idempotent(self, tmp_path):
+        path = tmp_path / "out.json"
+        trace.start_trace(str(path))
+        with trace.span("chase.run"):
+            pass
+        assert trace.stop_trace() == str(path)
+        assert trace.stop_trace() is None
+        assert len(read_trace(path)["traceEvents"]) == 1
+
+    def test_restart_retargets_but_keeps_buffer(self, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        trace.start_trace(str(first))
+        try:
+            with trace.span("round.plan"):
+                pass
+            trace.start_trace(str(second))  # re-target mid-flight
+            with trace.span("round.exec"):
+                pass
+        finally:
+            written = trace.stop_trace()
+        assert written == str(second)
+        assert not first.exists()
+        names = {e["name"] for e in read_trace(second)["traceEvents"]}
+        assert names == {"round.plan", "round.exec"}
+
+    def test_suspended_mutes_spans_then_restores(self, tmp_path):
+        path = tmp_path / "out.json"
+        trace.start_trace(str(path))
+        try:
+            with trace.span("round.apply"):
+                pass
+            with trace.suspended():
+                assert not trace.tracing()
+                with trace.span("round.discover"):
+                    pass
+                trace.instant("round.cut")
+            assert trace.tracing()
+            with trace.span("round.merge"):
+                pass
+        finally:
+            trace.stop_trace()
+        names = [e["name"] for e in read_trace(path)["traceEvents"]]
+        assert names == ["round.apply", "round.merge"]
+
+    def test_suspended_while_off_is_a_no_op(self):
+        with trace.suspended():
+            assert not trace.tracing()
+        assert not trace.tracing()
+
+    def test_env_init_starts_tracing(self, tmp_path):
+        path = tmp_path / "env.json"
+        trace.init_from_env({"CHASE_TRACE": str(path)})
+        try:
+            assert trace.tracing()
+        finally:
+            trace.stop_trace()
+        assert trace.validate_trace(read_trace(path)) == []
+
+    def test_env_init_without_path_stays_off(self):
+        trace.init_from_env({})
+        assert not trace.tracing()
+
+
+class TestValidator:
+    def test_accepts_array_form(self):
+        events = [{"name": "a", "ph": "i", "ts": 0.0, "pid": 1, "tid": 2}]
+        assert trace.validate_trace(events) == []
+
+    def test_rejects_non_trace_documents(self):
+        assert trace.validate_trace("nope")
+        assert trace.validate_trace({"foo": 1})
+        assert trace.validate_trace({"traceEvents": "nope"})
+
+    def test_rejects_malformed_events(self):
+        problems = trace.validate_trace(
+            {
+                "traceEvents": [
+                    {"ph": "X", "ts": 0.0, "pid": 1, "tid": 2, "dur": 1.0},  # no name
+                    {"name": "b", "ph": "X", "ts": 0.0, "pid": 1, "tid": 2, "dur": -1},
+                    "not-an-object",
+                ]
+            }
+        )
+        assert len(problems) == 3
