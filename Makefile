@@ -21,7 +21,7 @@ COVERAGE_FLOOR ?= 80
 #: the point is that a failing run is reproducible from the seed alone.
 CHAOS_SEED ?= 1307
 
-.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage stats
+.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage stats docs-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -59,6 +59,12 @@ bench-gate:
 # The per-exhibit pytest-benchmark suites (X1-X12 + ablations).
 bench-exhibits:
 	cd benchmarks && PYTHONPATH=../src $(PYTHON) -m pytest bench_*.py -q
+
+# Broken intra-repo markdown links in docs/*.md and the top-level *.md
+# files (stdlib-only checker; the CI docs job and a tier-1 test run the
+# same thing).
+docs-check:
+	$(PYTHON) tools/check_doc_links.py
 
 # Per-workload telemetry summary of the last bench report (rounds,
 # trigger accounting, cache hit rate, pool efficiency); run `make bench`

@@ -22,6 +22,14 @@ the perf floors regress:
   largest measured size (same loosening-margin rule) — a report without
   an ``obs_overheads`` section predates the telemetry layer and only
   earns a note;
+* the termination portfolio must agree with the decider-only analyzer on
+  every corpus set (a contradiction is a soundness bug — treated as an
+  equivalence failure, never skippable), settle at least
+  ``portfolio_settled_floor`` (50%) of the corpus without launching an
+  automata decider, and beat decider-only by more than
+  ``portfolio_speedup_floor`` (1×) on the settled subset — a report
+  without a ``portfolio`` section predates the cascade and only earns a
+  note;
 * every ``stats`` dict embedded in a report row must satisfy the
   telemetry invariants (fired ≤ discovered, hits ≤ lookups, non-negative
   counters) — a violation means the instrumentation itself is buggy, so
@@ -245,6 +253,37 @@ def gate(report: dict, margin: float) -> list:
                     f"obs_dense n={row['size']}: telemetry overhead "
                     f"{row['overhead_ratio']}x above the {round(ceiling, 3)}x ceiling"
                 )
+    portfolio = report.get("portfolio")
+    if portfolio is None:
+        # Older snapshots predate the portfolio cascade: tolerated, noted.
+        failures.append(
+            "note: report has no portfolio section (pre-portfolio "
+            "snapshot) — portfolio gate not applied"
+        )
+    else:
+        if not portfolio.get("agreement", False):
+            failures.append(
+                "equivalence: portfolio_cascade: the portfolio contradicted "
+                "the decider-only analyzer on at least one corpus set"
+            )
+        settled_floor = (
+            report["acceptance"].get("portfolio_settled_floor", 0.5) * margin
+        )
+        if portfolio.get("settled_fraction", 0.0) < settled_floor:
+            failures.append(
+                f"portfolio_cascade: settled fraction "
+                f"{portfolio.get('settled_fraction')} below the "
+                f"{round(settled_floor, 3)} floor"
+            )
+        speedup_floor = (
+            report["acceptance"].get("portfolio_speedup_floor", 1.0) * margin
+        )
+        if portfolio.get("settled_speedup", 0.0) <= speedup_floor:
+            failures.append(
+                f"portfolio_cascade: settled-subset speedup "
+                f"{portfolio.get('settled_speedup')}x not above the "
+                f"{round(speedup_floor, 3)}x floor"
+            )
     # Embedded stats dicts, wherever a section carries them.
     for section in (
         "speedups",

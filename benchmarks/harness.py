@@ -35,6 +35,12 @@ extra untimed run, and ``--trace PATH`` records the whole bench session
 as a Chrome trace (``PYTHONPATH=src python -m repro.obs.report`` prints
 the per-workload stats summary).
 
+Since PR 8 it also runs the ``portfolio_cascade`` workload
+(``bench_portfolio.py``): the cheap-first termination portfolio against
+the decider-only analyzer over the generator corpus, gated on verdict
+agreement (equivalence), a ≥50% settled-without-automata floor, and a
+strictly-faster-than-decider-only floor on the settled subset.
+
 ``benchmarks/check_regression.py`` turns the written report into a CI
 gate; see ``docs/CI.md``.
 
@@ -84,6 +90,11 @@ from bench_checkpoint import (
 from bench_obs import (
     OBS_OVERHEAD_THRESHOLD,
     measure as measure_obs,
+)
+from bench_portfolio import (
+    PORTFOLIO_SETTLED_FLOOR,
+    PORTFOLIO_SPEEDUP_FLOOR,
+    measure_portfolio,
 )
 from bench_parallel import (
     GATE_MIN_CPUS,
@@ -196,6 +207,12 @@ def run_seminaive_kernel(sizes, repeats: int, max_steps: int = 1_000_000):
 
     Both run the indexed engine; the semi-naive mode must be ≥2× at the
     largest size with byte-identical instances *and* derivations.
+
+    Both sides run with dependency pruning off: the workload's distractor
+    rules exist precisely so per-atom discovery has to consider them while
+    the delta-restricted pass skips them by predicate — the static prune
+    (``repro.termination.dependencies``) would remove them for *both*
+    engines and turn this into a different (much easier) workload.
     """
     tgds = dense_tgds()
     rows = []
@@ -204,11 +221,11 @@ def run_seminaive_kernel(sizes, repeats: int, max_steps: int = 1_000_000):
         db = dense_database(n)
         step_s, step = _time(
             restricted_chase, db, tgds, strategy="fifo", max_steps=max_steps,
-            repeats=repeats,
+            prune=False, repeats=repeats,
         )
         semi_s, semi = _time(
             restricted_chase, db, tgds, strategy="semi_naive", max_steps=max_steps,
-            repeats=repeats,
+            prune=False, repeats=repeats,
         )
         if not (step.terminated and semi.terminated):
             raise RuntimeError(f"seminaive_dense n={n}: a run was cut off")
@@ -406,12 +423,16 @@ def main(argv=None) -> int:
         # ratios (order alternating within the pair), gated at n=128 where
         # runs are long enough that blips stay inside the headroom.
         obs_sizes, obs_repeats = (64, 128), 9
+        # The portfolio gate is a corpus-wide fraction plus a summed-time
+        # ratio, both stable at a smaller corpus.
+        portfolio_per_family, portfolio_repeats = (4, 2)
     else:
         sizes, repeats = (8, 16, 32, 64), 3
         seminaive_sizes, seminaive_repeats = (16, 32, 64), 3
         parallel_sizes, parallel_repeats = (16, 32, 64), 2
         checkpoint_sizes, checkpoint_repeats = (24, 32, 48), 3
         obs_sizes, obs_repeats = (64, 128), 9
+        portfolio_per_family, portfolio_repeats = (6, 3)
 
     results = []
     speedups = []
@@ -433,6 +454,9 @@ def main(argv=None) -> int:
     results.extend(parallel_rows)
     checkpoint_overheads = run_checkpoint_kernel(checkpoint_sizes, checkpoint_repeats)
     obs_overheads = run_obs_kernel(obs_sizes, obs_repeats)
+    portfolio_section = measure_portfolio(
+        portfolio_per_family, portfolio_repeats
+    )
 
     # Worker/CPU provenance on every entry (single-threaded kernels are
     # workers=1), so trajectory diffs never compare across pool widths or
@@ -497,6 +521,11 @@ def main(argv=None) -> int:
     ) and all(
         r["overhead_ratio"] <= OBS_OVERHEAD_THRESHOLD for r in obs_at_largest
     )
+    portfolio_pass = (
+        portfolio_section["agreement"]
+        and portfolio_section["settled_fraction"] >= PORTFOLIO_SETTLED_FLOOR
+        and portfolio_section["settled_speedup"] > PORTFOLIO_SPEEDUP_FLOOR
+    )
     verdict = {
         "threshold": SPEEDUP_THRESHOLD,
         "seminaive_threshold": SEMINAIVE_SPEEDUP_THRESHOLD,
@@ -521,6 +550,11 @@ def main(argv=None) -> int:
         "max_obs_overhead_at_largest": max(
             r["overhead_ratio"] for r in obs_at_largest
         ),
+        "portfolio_settled_floor": PORTFOLIO_SETTLED_FLOOR,
+        "portfolio_speedup_floor": PORTFOLIO_SPEEDUP_FLOOR,
+        "portfolio_settled_fraction": portfolio_section["settled_fraction"],
+        "portfolio_settled_speedup": portfolio_section["settled_speedup"],
+        "portfolio_agreement": portfolio_section["agreement"],
         "all_instances_identical": all(
             s["identical_instances"]
             for s in speedups + seminaive_speedups + parallel_speedups
@@ -537,7 +571,8 @@ def main(argv=None) -> int:
         and seminaive_pass
         and parallel_pass
         and checkpoint_pass
-        and obs_pass,
+        and obs_pass
+        and portfolio_pass,
     }
 
     report = {
@@ -550,6 +585,7 @@ def main(argv=None) -> int:
         "parallel_speedups": parallel_speedups,
         "checkpoint_overheads": checkpoint_overheads,
         "obs_overheads": obs_overheads,
+        "portfolio": portfolio_section,
         "acceptance": verdict,
     }
     Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
@@ -593,6 +629,14 @@ def main(argv=None) -> int:
             f"{r['recording_seconds']:>10.4f} {r['overhead_ratio']:>7.2f}x  "
             f"{r['identical_instances'] and r['identical_derivations']}"
         )
+    print(
+        f"{'portfolio':<16} settled {portfolio_section['settled']}/"
+        f"{portfolio_section['total']} "
+        f"({portfolio_section['settled_fraction']:.0%}), "
+        f"agreement={portfolio_section['agreement']}, settled-subset speedup "
+        f"{portfolio_section['settled_speedup']}x, "
+        f"stages={portfolio_section['stage_counts']}"
+    )
     parallel_note = (
         f"{verdict['min_parallel_speedup_at_largest']}x "
         f"(threshold {PARALLEL_SPEEDUP_THRESHOLD}x, workers={args.workers}, "
@@ -612,7 +656,12 @@ def main(argv=None) -> int:
         f"(threshold {CHECKPOINT_OVERHEAD_THRESHOLD}x), "
         f"max telemetry overhead is "
         f"{verdict['max_obs_overhead_at_largest']}x "
-        f"(threshold {OBS_OVERHEAD_THRESHOLD}x) -> "
+        f"(threshold {OBS_OVERHEAD_THRESHOLD}x), "
+        f"portfolio settled "
+        f"{verdict['portfolio_settled_fraction']:.0%} "
+        f"(floor {PORTFOLIO_SETTLED_FLOOR:.0%}) at "
+        f"{verdict['portfolio_settled_speedup']}x on the settled subset "
+        f"(floor {PORTFOLIO_SPEEDUP_FLOOR}x) -> "
         f"{'PASS' if verdict['pass'] else 'FAIL'}"
     )
     return 0 if verdict["pass"] else 1

@@ -313,7 +313,7 @@ class ChaseCheckpoint:
             )
 
     def restore_engine(
-        self, tgds: Sequence[TGD], matcher=None, stats=None
+        self, tgds: Sequence[TGD], matcher=None, stats=None, assessor=None
     ) -> ChaseEngine:
         """Rebuild a suspended :class:`ChaseEngine` from this snapshot.
 
@@ -321,7 +321,10 @@ class ChaseCheckpoint:
         rule *names*, so an equal-modulo-renaming set would silently break
         byte-identity — same guard as the engine's matcher check).  A
         ``stats`` sink rides into the rebuilt engine and counts the
-        restoration.
+        restoration; an ``assessor`` re-enables discovery pruning on the
+        restored engine (the live rule subset is a pure function of the
+        rule list and the instance's predicates, so resumed runs stay
+        byte-identical with or without it).
         """
         if self.version != CHECKPOINT_VERSION:
             raise CheckpointError(
@@ -348,6 +351,7 @@ class ChaseCheckpoint:
                 track_witnesses=self.track_witnesses,
                 matcher=matcher,
                 stats=stats,
+                assessor=assessor,
             )
         if stats is not None:
             stats.checkpoints_restored += 1

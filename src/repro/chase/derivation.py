@@ -6,6 +6,12 @@ initial instance and the trigger sequence; the intermediate instances are
 recomputable.  Validation re-checks, step by step, that each trigger was a
 trigger on the current instance and active — tests use this to certify
 every derivation any component produces.
+
+Derivations are byte-comparable across engines: trigger identity is the
+digest-determined ``(σ, h)`` pair (null names included), so two runs that
+apply the same logical steps record *equal* derivations — this is the
+object the CI equivalence gates diff when they demand "byte-identical
+derivations" between the FIFO, semi-naive, parallel, and resumed engines.
 """
 
 from __future__ import annotations

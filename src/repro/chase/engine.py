@@ -73,6 +73,38 @@ def _check_matcher(matcher, tgds: Tuple[TGD, ...]) -> None:
         raise ValueError("matcher was built for a different TGD set")
 
 
+def _live_subset(tgds: Tuple[TGD, ...], assessor, instance: Instance) -> Tuple[TGD, ...]:
+    """The discovery rule subset: drop rules the assessor proves dead.
+
+    ``assessor`` is a
+    :class:`repro.termination.dependencies.RuleDependencyGraph` built over
+    the *same* rule list (digest-checked, mirroring ``_check_matcher`` —
+    null naming depends on rule names, so a renamed assessor set must be
+    rejected, not silently accepted).  Rules with a body predicate outside
+    the reachable closure of the instance's predicates never produce a
+    trigger, so dropping them from discovery preserves byte-identity.
+    """
+    if assessor is None:
+        return tgds
+    if [t.digest_prefix() for t in assessor.tgds] != [
+        t.digest_prefix() for t in tgds
+    ]:
+        raise ValueError("assessor was built for a different TGD set")
+    return tuple(tgds[i] for i in assessor.live_indices(instance.predicates()))
+
+
+def build_assessor(tgds: Sequence[TGD]):
+    """Build the rule-dependency assessor the entry points' ``prune`` uses.
+
+    Lazy import: :mod:`repro.termination.dependencies` sits above the chase
+    layer in the package graph, and the engine only needs it when pruning
+    is requested.
+    """
+    from repro.termination.dependencies import RuleDependencyGraph
+
+    return RuleDependencyGraph(tgds)
+
+
 class HeadWitnessIndex:
     """Frontier-binding tuples whose head is already witnessed, per TGD.
 
@@ -226,6 +258,7 @@ class ChaseEngine:
         track_witnesses: bool = True,
         matcher=None,
         stats=None,
+        assessor=None,
     ):
         self.tgds: Tuple[TGD, ...] = tuple(tgds)
         #: Optional :class:`repro.chase.parallel.ParallelMatcher`; when set,
@@ -242,6 +275,15 @@ class ChaseEngine:
         else:
             seed_atoms = sorted(database, key=Atom.sort_key)
         self.instance = Instance(seed_atoms)
+        #: Discovery runs over the *live* TGD subset: an optional
+        #: :class:`repro.termination.dependencies.RuleDependencyGraph`
+        #: assessor prunes rules whose body predicates fall outside the
+        #: reachable-predicate closure of the seed instance — such rules
+        #: never admit a body homomorphism, so discovery with and without
+        #: them is byte-identical (same triggers, same enqueue orders).
+        #: ``self.tgds`` stays the full set: checkpoints, matcher digest
+        #: checks, and null naming all key off the caller's rule list.
+        self.live: Tuple[TGD, ...] = _live_subset(self.tgds, assessor, self.instance)
         self.witnesses: Optional[HeadWitnessIndex] = (
             HeadWitnessIndex(self.tgds, self.instance) if track_witnesses else None
         )
@@ -251,7 +293,7 @@ class ChaseEngine:
         #: cut and the call that completes the round — the suspended state a
         #: checkpoint carries and ``run_round`` continues from.
         self._round_delta = None
-        self._enqueue(triggers_on(self.tgds, self.instance))
+        self._enqueue(triggers_on(self.live, self.instance))
 
     @classmethod
     def _restore(
@@ -264,6 +306,7 @@ class ChaseEngine:
         track_witnesses: bool,
         matcher=None,
         stats=None,
+        assessor=None,
     ) -> "ChaseEngine":
         """Rebuild a (possibly mid-round) engine from checkpoint state.
 
@@ -279,6 +322,10 @@ class ChaseEngine:
         engine.matcher = matcher
         engine.stats = stats
         engine.instance = Instance(atoms)
+        # Predicates derivable mid-run are heads of live rules, so the
+        # reachable closure — hence the live subset — matches the fresh
+        # engine's even though the restored instance has grown.
+        engine.live = _live_subset(tgds, assessor, engine.instance)
         engine.witnesses = (
             HeadWitnessIndex(tgds, engine.instance) if track_witnesses else None
         )
@@ -351,7 +398,7 @@ class ChaseEngine:
         if added:
             if self.witnesses is not None:
                 witness_entries = self.witnesses.note(atom)
-            discovered = self._enqueue(new_triggers(self.tgds, self.instance, [atom]))
+            discovered = self._enqueue(new_triggers(self.live, self.instance, [atom]))
         if self.stats is not None:
             self.stats.record_fired(trigger)
         return ApplyToken(trigger, atom, added, witness_entries, discovered)
@@ -471,7 +518,7 @@ class ChaseEngine:
                 if self.matcher is not None:
                     batch = self.matcher.discover(self.instance, delta)
                 else:
-                    batch = seminaive_triggers(self.tgds, self.instance, delta)
+                    batch = seminaive_triggers(self.live, self.instance, delta)
             discovered = self._enqueue(batch, presorted=True)
             if stats is not None:
                 stats.discover_seconds += clock.perf_counter() - stamp

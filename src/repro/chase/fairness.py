@@ -14,6 +14,11 @@ are represented by prefixes of a strategy-driven stream; "remains active
 forever" is evaluated up to the prefix horizon (the only finite
 approximation involved — everything else is the paper's construction
 verbatim, and every output derivation is re-validated step by step).
+
+Determinism: the construction is a pure function of the input prefix —
+splice indices are computed, not sampled, strategy streams are seeded, and
+invented nulls are digest-determined per trigger — so replaying the same
+prefix yields the same fair derivation, byte for byte.
 """
 
 from __future__ import annotations

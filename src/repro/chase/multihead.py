@@ -5,6 +5,11 @@ Only needed to reproduce Example B.1: the Fairness Theorem (Theorem 4.1)
 trigger is active if no single extension of ``h|fr(σ)`` maps *all* head
 atoms into the instance; applying it adds all head atoms at once, sharing
 the invented nulls.
+
+Determinism matches the single-head kernel: invented nulls are
+digest-determined per ``(trigger, variable)``, per-round trigger
+enumeration is insertion-ordered, and ``random`` strategies are seeded —
+equal inputs replay byte-identical runs.
 """
 
 from __future__ import annotations

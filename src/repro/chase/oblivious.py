@@ -7,6 +7,12 @@ Null invention is deterministic per trigger (Definition 3.1's
 it round by round on the shared kernel, draining the engine's worklist one
 batch per round (activity checks are skipped entirely — the engine runs
 with the witness cache disabled).
+
+Although the fixpoint is order-independent, the *run* is still
+deterministic — digest-named nulls, ``(birth, canonical_key)`` batch
+order, digest-guarded checkpoint resume — so round boundaries and
+derivation logs are reproducible too.  ``prune=True`` (the default)
+drops assessor-proven dead rules from discovery, byte-identically.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ from typing import Optional, Sequence
 
 from repro.core.instance import Instance
 from repro.chase.checkpoint import Budget, ChaseCheckpoint
-from repro.chase.engine import ChaseEngine
+from repro.chase.engine import ChaseEngine, build_assessor
 from repro.errors import ChaseInterrupted
 from repro.obs import clock, trace
 from repro.tgds.tgd import TGD
@@ -63,6 +69,7 @@ def oblivious_chase(
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
+    prune: bool = True,
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
@@ -96,14 +103,22 @@ def oblivious_chase(
         matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
     if stats is not None and not stats.kind:
         stats.kind = "oblivious"
+    assessor = build_assessor(tgds) if prune else None
     if resume is not None:
         resume.require_kind("oblivious")
-        engine = resume.restore_engine(tgds, matcher=matcher, stats=stats)
+        engine = resume.restore_engine(
+            tgds, matcher=matcher, stats=stats, assessor=assessor
+        )
         applications = resume.applications
         rounds = resume.rounds
     else:
         engine = ChaseEngine(
-            database, tgds, track_witnesses=False, matcher=matcher, stats=stats
+            database,
+            tgds,
+            track_witnesses=False,
+            matcher=matcher,
+            stats=stats,
+            assessor=assessor,
         )
         applications = 0
         rounds = 0

@@ -8,6 +8,10 @@ terms of ``β`` (the terms propagated by the trigger).  In the presence of
 ``≺b`` is the union of (database-before-everything), the parent relation,
 and the *inverse* of ``≺s``; chaseable sets (Definition 5.2) require it to
 be acyclic and well-founded.
+
+Both relations are computed over insertion-ordered instances with
+digest-named nulls, so edge sets — and any order they are enumerated in —
+are identical across runs of the same chase.
 """
 
 from __future__ import annotations

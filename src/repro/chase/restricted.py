@@ -24,6 +24,15 @@ Since atoms are never removed, a trigger deactivated once can never become
 active again; the engine exploits this with an incremental worklist and the
 head-witness cache of :class:`repro.chase.engine.ChaseEngine` — activity
 checks are set lookups, not instance scans.
+
+Byte-identity invariants (the ones CI's equivalence gates enforce): null
+names are digest-determined per trigger, worklist batches are enqueued in
+``(birth, canonical_key)`` order, and resuming from a checkpoint — guarded
+by the TGD digest-prefix identity check — replays the exact run.
+``prune=True`` (the default) additionally drops rules the dependency
+assessor proves can never fire; pruned and unpruned runs are byte-identical
+(same instance, derivation, and worklist orders), see
+:mod:`repro.termination.dependencies`.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ from typing import Callable, List, Optional, Sequence, Union
 from repro.core.instance import Instance
 from repro.chase.checkpoint import Budget, ChaseCheckpoint
 from repro.chase.derivation import Derivation
-from repro.chase.engine import ChaseEngine
+from repro.chase.engine import ChaseEngine, build_assessor
 from repro.chase.trigger import Trigger, active_triggers_on
 from repro.errors import ChaseInterrupted, SearchBudgetExceeded
 from repro.obs import clock, trace
@@ -106,6 +115,7 @@ def restricted_chase(
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
+    prune: bool = True,
 ) -> ChaseResult:
     """Run one restricted chase derivation.
 
@@ -143,6 +153,7 @@ def restricted_chase(
             budget=budget,
             resume=resume,
             stats=stats,
+            prune=prune,
         )
     if (budget is not None or resume is not None) and (
         callable(strategy) or strategy not in RESUMABLE_STRATEGIES
@@ -155,13 +166,14 @@ def restricted_chase(
     if stats is not None and not stats.kind:
         stats.kind = kind
     choose = _resolve_strategy(strategy, seed)
+    assessor = build_assessor(tgds) if prune else None
     if resume is not None:
         resume.require_kind(kind)
-        engine = resume.restore_engine(tgds, stats=stats)
+        engine = resume.restore_engine(tgds, stats=stats, assessor=assessor)
         derivation = resume.restore_derivation()
         steps = resume.steps
     else:
-        engine = ChaseEngine(database, tgds, stats=stats)
+        engine = ChaseEngine(database, tgds, stats=stats, assessor=assessor)
         derivation = Derivation(engine.instance)
         steps = 0
     if budget is not None:
@@ -220,6 +232,7 @@ def seminaive_chase(
     budget: Optional[Budget] = None,
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
+    prune: bool = True,
 ) -> ChaseResult:
     """The set-at-a-time restricted chase (``strategy="semi_naive"``).
 
@@ -251,14 +264,19 @@ def seminaive_chase(
         matcher = build_matcher(tgds, workers=workers, backend=parallel_backend)
     if stats is not None and not stats.kind:
         stats.kind = "semi_naive"
+    assessor = build_assessor(tgds) if prune else None
     if resume is not None:
         resume.require_kind("semi_naive")
-        engine = resume.restore_engine(tgds, matcher=matcher, stats=stats)
+        engine = resume.restore_engine(
+            tgds, matcher=matcher, stats=stats, assessor=assessor
+        )
         derivation = resume.restore_derivation()
         steps = resume.steps
         rounds = resume.rounds
     else:
-        engine = ChaseEngine(database, tgds, matcher=matcher, stats=stats)
+        engine = ChaseEngine(
+            database, tgds, matcher=matcher, stats=stats, assessor=assessor
+        )
         derivation = Derivation(engine.instance)
         steps = 0
         rounds = 0

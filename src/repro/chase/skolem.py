@@ -11,6 +11,10 @@ this variant; we use it for the MFA certificate
 Skolem terms are structured nulls: their tree structure is what
 acyclicity-style conditions inspect (a term nesting the same function
 symbol twice witnesses potential non-termination).
+
+Determinism is structural rather than digest-based here: a skolem term's
+identity *is* ``f_{σ,z}`` applied to the frontier values, so the fixpoint
+is unique and byte-identical regardless of application order.
 """
 
 from __future__ import annotations

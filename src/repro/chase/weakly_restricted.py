@@ -17,6 +17,9 @@ The runner shares the kernel machinery of :mod:`repro.chase.engine`:
 triggers are discovered incrementally from the atoms each round commits,
 activity is answered by the head-witness cache, and anchor occurrences are
 found through an atom → occurrence-ids index instead of a scan.
+Occurrence ids are allocated in creation order over insertion-ordered
+rounds and nulls are digest-determined, so runs — and their ``Extract``
+linearizations — are byte-identical across repetitions.
 """
 
 from __future__ import annotations

@@ -59,6 +59,7 @@ class ChaseStats:
         "merge_seconds",
         "wall_seconds",
         "suspects",
+        "portfolio",
     )
 
     def __init__(self, kind: str = ""):
@@ -118,6 +119,10 @@ class ChaseStats:
         #: ``{"candidate": i, "outcome": "pump"|"none"|"timeout",
         #: "seconds": s}`` in candidate order.
         self.suspects: List[dict] = []
+        #: Portfolio cascade: one entry per stage reached —
+        #: ``{"stage": name, "outcome": "settled"|"undecided"|"timeout"
+        #: |<decider status>, "seconds": s}`` in cascade order.
+        self.portfolio: List[dict] = []
 
     # -- derived -----------------------------------------------------------
 
@@ -251,6 +256,7 @@ class ChaseStats:
             "merge_seconds": round(self.merge_seconds, 6),
             "wall_seconds": round(self.wall_seconds, 6),
             "suspects": list(self.suspects),
+            "portfolio": list(self.portfolio),
         }
 
     def summary(self) -> str:
@@ -271,6 +277,8 @@ class ChaseStats:
             parts.append(f"budget_cuts={self.budget_cuts}")
         if self.suspects:
             parts.append(f"suspects={len(self.suspects)}")
+        if self.portfolio:
+            parts.append(f"portfolio_stages={len(self.portfolio)}")
         return " ".join(parts)
 
     def __repr__(self) -> str:

@@ -1,1 +1,21 @@
-"""Umbrella analyzer, verdicts with certificates, and the critical-database oblivious baseline."""
+"""All-instances termination analysis: deciders, portfolio, dependencies.
+
+* :mod:`repro.termination.analyzer` — the umbrella
+  :class:`~repro.termination.analyzer.TerminationAnalyzer` (classify,
+  dispatch to the sticky/guarded deciders, certify).
+* :mod:`repro.termination.portfolio` — the cheap-first cascade
+  (:class:`~repro.termination.portfolio.TerminationPortfolio`) that settles
+  most sets before any automaton is built.
+* :mod:`repro.termination.dependencies` — the rule-dependency assessor
+  (:class:`~repro.termination.dependencies.RuleDependencyGraph`) backing
+  the cascade's layered stages and the chase engine's discovery pruning.
+* :mod:`repro.termination.verdict` — certifying
+  :class:`~repro.termination.verdict.Verdict` objects; ``TIMEOUT`` is a
+  budget answer, distinct from ``UNKNOWN`` (a bounds answer).
+* :mod:`repro.termination.critical` / :mod:`repro.termination.mfa` — the
+  critical-database oblivious baseline and the MFA-style certificate.
+
+Every analysis entry point is deterministic: verdicts are identical at
+every worker count, with or without ``stats`` attached, and budget
+exhaustion always surfaces as a ``TIMEOUT`` verdict, never an exception.
+"""

@@ -10,6 +10,13 @@ dispatches to the strongest applicable procedure:
   oblivious certificate only, since ``CT_res_∀∀`` is undecidable in general
   (Theorem 3.6) — plus the same replay-certified divergence search, whose
   positive answers remain sound for arbitrary single-head TGDs.
+
+Verdicts are deterministic and worker-count-independent: the divergence
+suspects run as independent (optionally pooled) chases, but results are
+consumed in candidate order, so ``workers=N`` returns exactly the verdict
+the serial scan's early exit would have — status, method, certificate and
+all.  The cheap-first cascade in :mod:`repro.termination.portfolio` sits
+in front of this analyzer; see ``docs/TERMINATION.md``.
 """
 
 from __future__ import annotations

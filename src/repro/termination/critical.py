@@ -14,6 +14,11 @@ Two facts this module makes executable:
 * ``D*`` is **not** critical for the restricted chase — the intro example
   ``R(x,y) → ∃z R(x,z)`` restricted-terminates on every database although
   the oblivious chase on ``D*`` is infinite (exhibit X12).
+
+``critical_database`` enumerates the schema in deterministic order, and
+the certificate chase inherits the kernel's determinism (digest-named
+nulls, ``(birth, canonical_key)`` batches), so certificates are
+reproducible run to run.
 """
 
 from __future__ import annotations

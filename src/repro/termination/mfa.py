@@ -14,6 +14,10 @@ nothing about the restricted chase (and there are CT_res_∀∀ sets beyond
 every such certificate — otherwise Theorem 3.6's undecidability could not
 hold).  The paper's procedures close this gap completely for guarded and
 sticky sets.
+
+The check is deterministic: skolem-term identity is structural (function
+symbol + frontier values), so the bounded skolem chase on ``D*`` — and
+therefore the MFA answer — is identical across runs and worker counts.
 """
 
 from __future__ import annotations

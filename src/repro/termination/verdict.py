@@ -5,6 +5,11 @@ an artefact that can be re-checked independently (a syntactic certificate
 name, a witness database plus a validated derivation, or an automaton
 lasso).  ``UNKNOWN`` is an honest answer when neither side was established
 within the configured bounds (see DESIGN.md §3 on the MSOL substitution).
+
+Verdicts are plain, picklable data, and every producer in this package is
+deterministic: the same TGD set (and budget) yields the same verdict —
+including its certificate — at any worker count, which is what lets tests
+diff portfolio, decider, serial, and pooled answers directly.
 """
 
 from __future__ import annotations

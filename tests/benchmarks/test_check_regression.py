@@ -21,6 +21,9 @@ def make_report(
     checkpoint_identical=True,
     obs_identical=True,
     cpu_count=8,
+    portfolio_agreement=True,
+    portfolio_settled=0.9,
+    portfolio_speedup=20.0,
 ):
     return {
         "acceptance": {
@@ -30,6 +33,13 @@ def make_report(
             "parallel_gate_min_cpus": 4,
             "checkpoint_overhead_threshold": 1.1,
             "obs_overhead_threshold": 1.05,
+            "portfolio_settled_floor": 0.5,
+            "portfolio_speedup_floor": 1.0,
+        },
+        "portfolio": {
+            "agreement": portfolio_agreement,
+            "settled_fraction": portfolio_settled,
+            "settled_speedup": portfolio_speedup,
         },
         "speedups": [
             {
@@ -248,6 +258,46 @@ def test_missing_obs_section_is_a_note_not_a_failure():
     assert failures == [
         "note: report has no obs_overheads section (pre-telemetry snapshot)"
         " — telemetry gate not applied"
+    ]
+
+
+def test_portfolio_contradiction_is_an_equivalence_failure():
+    failures = gate(make_report(portfolio_agreement=False), margin=1.0)
+    assert any(
+        f.startswith("equivalence: portfolio_cascade") for f in failures
+    )
+
+
+def test_portfolio_settled_floor_enforced():
+    failures = gate(make_report(portfolio_settled=0.3), margin=1.0)
+    assert any(
+        "portfolio_cascade" in f and "settled fraction" in f for f in failures
+    )
+
+
+def test_portfolio_speedup_must_be_strictly_above_the_floor():
+    # The cascade must be strictly faster than the decider-only analyzer on
+    # the settled subset: exactly 1.0x fails the > comparison.
+    failures = gate(make_report(portfolio_speedup=1.0), margin=1.0)
+    assert any(
+        "portfolio_cascade" in f and "speedup" in f for f in failures
+    )
+    assert gate(make_report(portfolio_speedup=1.01), margin=1.0) == []
+
+
+def test_portfolio_margin_loosens_the_floors():
+    assert gate(make_report(portfolio_settled=0.45), margin=1.0)
+    assert gate(make_report(portfolio_settled=0.45), margin=0.8) == []
+
+
+def test_missing_portfolio_section_is_a_note_not_a_failure():
+    # Pre-portfolio snapshots must keep passing: a note, not a failure.
+    report = make_report()
+    del report["portfolio"]
+    failures = gate(report, margin=1.0)
+    assert failures == [
+        "note: report has no portfolio section (pre-portfolio "
+        "snapshot) — portfolio gate not applied"
     ]
 
 

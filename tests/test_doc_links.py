@@ -1,0 +1,44 @@
+"""Tier-1 wrapper around the docs link checker (tools/check_doc_links.py).
+
+The CI ``docs`` job runs the same checker via ``make docs-check``; this
+test keeps a broken intra-repo link from surviving even a local
+tier-1-only workflow.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(ROOT / "tools"))
+
+from check_doc_links import broken_links, doc_files  # noqa: E402
+
+
+def test_repo_docs_have_markdown_files():
+    files = doc_files(ROOT)
+    names = {path.name for path in files}
+    # The set the gate covers must include the load-bearing docs.
+    assert "ROADMAP.md" in names
+    assert "ARCHITECTURE.md" in names
+
+
+def test_no_broken_intra_repo_links():
+    problems = {
+        str(path.relative_to(ROOT)): broken_links(path, ROOT)
+        for path in doc_files(ROOT)
+    }
+    broken = {name: probs for name, probs in problems.items() if probs}
+    assert not broken, f"broken intra-repo markdown links: {broken}"
+
+
+def test_checker_flags_a_broken_link(tmp_path):
+    doc = tmp_path / "page.md"
+    doc.write_text(
+        "See [missing](no/such/file.md) and [ok](page.md) "
+        "and [ext](https://example.com) and [anchor](#here).\n",
+        encoding="utf-8",
+    )
+    problems = broken_links(doc, tmp_path)
+    assert problems == [(1, "no/such/file.md")]

@@ -1,0 +1,92 @@
+"""Fail on broken intra-repo links in the repository's markdown docs.
+
+Scans ``docs/*.md`` plus the top-level ``*.md`` files for markdown links
+(``[text](target)``) and checks that every *relative* target resolves to
+an existing file or directory (anchors and external schemes are skipped;
+an anchor suffix on a relative target is stripped before the existence
+check).  Stdlib only — this is the CI ``docs`` job's whole engine, and
+``tests/test_doc_links.py`` runs the same check inside tier-1.
+
+Usage::
+
+    python tools/check_doc_links.py [--root PATH]
+
+Exit status 0 when every link resolves, 1 otherwise (each broken link is
+printed as ``file:line: target``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: ``[text](target)`` — non-greedy text, target up to the closing paren.
+#: Images (``![alt](target)``) match too via the optional bang.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Targets that are not intra-repo file references.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path) -> List[Path]:
+    """The markdown set the gate covers: ``docs/*.md`` + top-level ``*.md``."""
+    files = sorted(root.glob("*.md"))
+    docs = root / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def broken_links(path: Path, root: Path) -> List[Tuple[int, str]]:
+    """``(line number, target)`` for every unresolvable relative link."""
+    problems: List[Tuple[int, str]] = []
+    for lineno, line in enumerate(
+        path.read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        for match in _LINK.finditer(line):
+            target = match.group(1)
+            if target.startswith(_EXTERNAL) or target.startswith("#"):
+                continue
+            relative = target.split("#", 1)[0]
+            if not relative:
+                continue
+            base = root if relative.startswith("/") else path.parent
+            resolved = (base / relative.lstrip("/")).resolve()
+            if not resolved.exists():
+                problems.append((lineno, target))
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=str(Path(__file__).resolve().parents[1]),
+        help="repository root (default: this file's grandparent)",
+    )
+    args = parser.parse_args(argv)
+    root = Path(args.root).resolve()
+    files = doc_files(root)
+    if not files:
+        print(f"check_doc_links: no markdown files under {root}", file=sys.stderr)
+        return 1
+    total = 0
+    broken = 0
+    for path in files:
+        problems = broken_links(path, root)
+        total += 1
+        for lineno, target in problems:
+            broken += 1
+            print(f"{path.relative_to(root)}:{lineno}: broken link -> {target}")
+    if broken:
+        print(f"check_doc_links: {broken} broken link(s) across {total} files")
+        return 1
+    print(f"check_doc_links: OK ({total} markdown files, no broken relative links)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
