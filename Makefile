@@ -21,7 +21,14 @@ COVERAGE_FLOOR ?= 80
 #: the point is that a failing run is reproducible from the seed alone.
 CHAOS_SEED ?= 1307
 
-.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage stats docs-check
+#: Bind address / port for `make serve` (PORT=0 binds an ephemeral port).
+HOST ?= 127.0.0.1
+PORT ?= 8080
+
+#: Parallel chase workers per session round for `make serve` (1 = serial).
+SERVE_WORKERS ?= 1
+
+.PHONY: test test-chaos lint bench bench-quick bench-gate bench-exhibits coverage stats docs-check serve bench-service
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -65,6 +72,18 @@ bench-exhibits:
 # same thing).
 docs-check:
 	$(PYTHON) tools/check_doc_links.py
+
+# The chase service: long-lived sessions with incremental resume and a
+# digest-keyed verdict cache over a stdlib asyncio HTTP front end.  See
+# docs/SERVICE.md for the endpoint reference.
+serve:
+	$(PYTHON) -m repro.service --host $(HOST) --port $(PORT) \
+		--workers $(SERVE_WORKERS)
+
+# The service load bench + equivalence gate, standalone (the same section
+# `make bench`/`make bench-quick` folds into BENCH_chase.json).
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py --quick
 
 # Per-workload telemetry summary of the last bench report (rounds,
 # trigger accounting, cache hit rate, pool efficiency); run `make bench`

@@ -30,6 +30,12 @@ the perf floors regress:
   ``portfolio_speedup_floor`` (1×) on the settled subset — a report
   without a ``portfolio`` section predates the cascade and only earns a
   note;
+* the chase service's incremental sessions must be byte-identical (atoms
+  and application counts) to a cold chase of each session's accumulated
+  facts, and a warm verdict-cache hit must answer without invoking any
+  portfolio stage — both are equivalence failures (never skippable); a
+  report without a ``service`` section predates the service tier and
+  only earns a note;
 * every ``stats`` dict embedded in a report row must satisfy the
   telemetry invariants (fired ≤ discovered, hits ≤ lookups, non-negative
   counters) — a violation means the instrumentation itself is buggy, so
@@ -284,6 +290,39 @@ def gate(report: dict, margin: float) -> list:
                 f"{portfolio.get('settled_speedup')}x not above the "
                 f"{round(speedup_floor, 3)}x floor"
             )
+    service = report.get("service")
+    if service is None:
+        # Older snapshots predate the service tier: tolerated, noted.
+        failures.append(
+            "note: report has no service section (pre-service snapshot) — "
+            "service gate not applied"
+        )
+    else:
+        if not service.get("equivalence", False):
+            failures.append(
+                "equivalence: service_sessions: a session's incremental "
+                "state differs from a cold chase of its accumulated facts"
+            )
+        if not service.get("warm_cache_hit_no_decider", False):
+            failures.append(
+                "equivalence: service_sessions: a warm verdict-cache hit "
+                "invoked a portfolio stage (decider not bypassed)"
+            )
+        stats = service.get("stats")
+        if stats is not None:
+            failures.extend(stats_violations(stats, "service_sessions"))
+            resumed = stats.get("sessions_resumed")
+            sizes = stats.get("increment_sizes")
+            if (
+                resumed is not None
+                and sizes is not None
+                and resumed != len(sizes)
+            ):
+                failures.append(
+                    "equivalence: service_sessions: sessions_resumed "
+                    f"({resumed}) disagrees with increment_sizes "
+                    f"({len(sizes)} entries)"
+                )
     # Embedded stats dicts, wherever a section carries them.
     for section in (
         "speedups",

@@ -41,6 +41,13 @@ the decider-only analyzer over the generator corpus, gated on verdict
 agreement (equivalence), a ≥50% settled-without-automata floor, and a
 strictly-faster-than-decider-only floor on the settled subset.
 
+Since PR 9 it also runs the ``service_sessions`` workload
+(``bench_service.py``): the chase service under closed-loop HTTP load —
+requests/sec and p50/p99 latency — gated on two equivalence bits: every
+session's incremental state byte-identical (atoms *and* application
+counts) to a cold chase of its accumulated facts, and a warm
+verdict-cache hit answering without invoking any portfolio stage.
+
 ``benchmarks/check_regression.py`` turns the written report into a CI
 gate; see ``docs/CI.md``.
 
@@ -107,6 +114,7 @@ from bench_seminaive import (
     dense_database,
     dense_tgds,
 )
+from bench_service import measure_service
 
 #: The weakly-acyclic chain rules shared by both kernels.
 TGDS = parse_tgds(
@@ -426,6 +434,9 @@ def main(argv=None) -> int:
         # The portfolio gate is a corpus-wide fraction plus a summed-time
         # ratio, both stable at a smaller corpus.
         portfolio_per_family, portfolio_repeats = (4, 2)
+        # The service gates are equivalence bits, not ratios — a small
+        # load (clients, requests/client, edges/request) suffices.
+        service_clients, service_requests, service_batch = (4, 6, 8)
     else:
         sizes, repeats = (8, 16, 32, 64), 3
         seminaive_sizes, seminaive_repeats = (16, 32, 64), 3
@@ -433,6 +444,7 @@ def main(argv=None) -> int:
         checkpoint_sizes, checkpoint_repeats = (24, 32, 48), 3
         obs_sizes, obs_repeats = (64, 128), 9
         portfolio_per_family, portfolio_repeats = (6, 3)
+        service_clients, service_requests, service_batch = (8, 10, 16)
 
     results = []
     speedups = []
@@ -456,6 +468,9 @@ def main(argv=None) -> int:
     obs_overheads = run_obs_kernel(obs_sizes, obs_repeats)
     portfolio_section = measure_portfolio(
         portfolio_per_family, portfolio_repeats
+    )
+    service_section = measure_service(
+        service_clients, service_requests, service_batch
     )
 
     # Worker/CPU provenance on every entry (single-threaded kernels are
@@ -526,6 +541,10 @@ def main(argv=None) -> int:
         and portfolio_section["settled_fraction"] >= PORTFOLIO_SETTLED_FLOOR
         and portfolio_section["settled_speedup"] > PORTFOLIO_SPEEDUP_FLOOR
     )
+    service_pass = (
+        service_section["equivalence"]
+        and service_section["warm_cache_hit_no_decider"]
+    )
     verdict = {
         "threshold": SPEEDUP_THRESHOLD,
         "seminaive_threshold": SEMINAIVE_SPEEDUP_THRESHOLD,
@@ -563,6 +582,11 @@ def main(argv=None) -> int:
             s["identical_derivations"]
             for s in seminaive_speedups + parallel_speedups
         ),
+        "service_equivalence": service_section["equivalence"],
+        "service_warm_cache_hit": service_section["warm_cache_hit_no_decider"],
+        "service_requests_per_sec": service_section["requests_per_sec"],
+        "service_p50_ms": service_section["p50_ms"],
+        "service_p99_ms": service_section["p99_ms"],
         "workers": args.workers,
         "cpu_count": cpus,
         "parallel_gate_enforced": parallel_gate_enforced,
@@ -572,7 +596,8 @@ def main(argv=None) -> int:
         and parallel_pass
         and checkpoint_pass
         and obs_pass
-        and portfolio_pass,
+        and portfolio_pass
+        and service_pass,
     }
 
     report = {
@@ -586,6 +611,7 @@ def main(argv=None) -> int:
         "checkpoint_overheads": checkpoint_overheads,
         "obs_overheads": obs_overheads,
         "portfolio": portfolio_section,
+        "service": service_section,
         "acceptance": verdict,
     }
     Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
@@ -637,6 +663,14 @@ def main(argv=None) -> int:
         f"{portfolio_section['settled_speedup']}x, "
         f"stages={portfolio_section['stage_counts']}"
     )
+    print(
+        f"{'service':<16} {service_section['requests']} requests / "
+        f"{service_section['clients']} clients -> "
+        f"{service_section['requests_per_sec']} req/s "
+        f"(p50 {service_section['p50_ms']}ms, p99 {service_section['p99_ms']}ms), "
+        f"equivalence={service_section['equivalence']}, "
+        f"warm_cache_hit={service_section['warm_cache_hit_no_decider']}"
+    )
     parallel_note = (
         f"{verdict['min_parallel_speedup_at_largest']}x "
         f"(threshold {PARALLEL_SPEEDUP_THRESHOLD}x, workers={args.workers}, "
@@ -661,7 +695,9 @@ def main(argv=None) -> int:
         f"{verdict['portfolio_settled_fraction']:.0%} "
         f"(floor {PORTFOLIO_SETTLED_FLOOR:.0%}) at "
         f"{verdict['portfolio_settled_speedup']}x on the settled subset "
-        f"(floor {PORTFOLIO_SPEEDUP_FLOOR}x) -> "
+        f"(floor {PORTFOLIO_SPEEDUP_FLOOR}x), "
+        f"service equivalence={verdict['service_equivalence']} "
+        f"warm_cache_hit={verdict['service_warm_cache_hit']} -> "
         f"{'PASS' if verdict['pass'] else 'FAIL'}"
     )
     return 0 if verdict["pass"] else 1

@@ -403,6 +403,48 @@ class ChaseEngine:
             self.stats.record_fired(trigger)
         return ApplyToken(trigger, atom, added, witness_entries, discovered)
 
+    # -- external facts ----------------------------------------------------
+
+    def inject_atoms(self, atoms: Iterable[Atom]) -> List[Atom]:
+        """Add externally supplied ground atoms and queue their discovery.
+
+        The incremental-resume primitive of the service layer: a finished
+        (or budget-suspended) engine absorbs new base facts and the next
+        ``run_round`` calls saturate over them — no cold restart.  Returns
+        the atoms that were actually new to the instance, in input order.
+
+        At a round boundary the new atoms' triggers are discovered
+        per-atom (:func:`repro.chase.trigger.new_triggers`) and enqueued
+        canonically, exactly as ``apply`` does for derived atoms.  Mid
+        round (a budget cut left the delta live) the atoms are recorded
+        into the live delta instead, so the round-completing discovery
+        pass covers them — either way every trigger touching the new
+        atoms is found exactly once.
+
+        Requires the full rule set live: the engine's dependency-pruned
+        subset (``prune=True``) is fixed from the *seed* instance's
+        predicates, and injected atoms may revive rules that pruning
+        proved dead for the seed.  Engines meant to absorb external facts
+        must be built with pruning off (``assessor=None``).
+        """
+        if self.live is not self.tgds and len(self.live) != len(self.tgds):
+            raise RuntimeError(
+                "inject_atoms requires an unpruned engine: the live rule "
+                "subset was fixed from the seed instance, and injected "
+                "atoms may revive pruned rules (build with prune=False)"
+            )
+        added: List[Atom] = []
+        for atom in atoms:
+            if not atom.is_ground:
+                raise ValueError(f"injected atoms must be ground, got {atom!r}")
+            if self.instance.add(atom):
+                added.append(atom)
+                if self.witnesses is not None:
+                    self.witnesses.note(atom)
+        if added and not self.mid_round():
+            self._enqueue(new_triggers(self.live, self.instance, added))
+        return added
+
     # -- semi-naive rounds -------------------------------------------------
 
     def run_round(

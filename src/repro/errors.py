@@ -90,6 +90,22 @@ class ParallelDiscoveryError(ReproError, RuntimeError):
     """
 
 
+# -- service layer -----------------------------------------------------------
+
+
+class ServiceError(ReproError, ValueError):
+    """A chase-service request is invalid (bad payload, unknown session).
+
+    Carries the HTTP status the front end should answer with; the session
+    layer raises it without knowing it is being served over HTTP, so the
+    same errors surface identically under direct (in-process) use.
+    """
+
+    def __init__(self, message: str, status: int = 400):
+        super().__init__(message)
+        self.status = status
+
+
 # -- historical per-module errors, unified ----------------------------------
 
 

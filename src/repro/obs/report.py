@@ -82,6 +82,35 @@ def print_report(report: dict, out=None) -> None:
             print(f"{workload:<18} n={size:<5} {ratio_text:<16} "
                   f"{_format_stats(row.get('stats', {}))}", file=out)
 
+    service = report.get("service")
+    if service:
+        stats = service.get("stats", {})
+        parts = [
+            f"rps={service.get('requests_per_sec', '?')}",
+            f"p50={service.get('p50_ms', '?')}ms",
+            f"p99={service.get('p99_ms', '?')}ms",
+            f"clients={service.get('clients', '?')}",
+        ]
+        if stats.get("sessions_opened") is not None:
+            parts.append(f"sessions={stats['sessions_opened']}")
+        if stats.get("sessions_resumed") is not None:
+            parts.append(f"resumes={stats['sessions_resumed']}")
+        hits = stats.get("verdict_cache_hits", 0)
+        misses = stats.get("verdict_cache_misses", 0)
+        if hits or misses:
+            parts.append(f"verdict_cache={hits}/{hits + misses}")
+        sizes = stats.get("increment_sizes") or []
+        if sizes:
+            parts.append(
+                f"increments(mean={sum(sizes) / len(sizes):.1f}, max={max(sizes)})"
+            )
+        parts.append(f"equivalence={'ok' if service.get('equivalence') else 'FAIL'}")
+        parts.append(
+            "warm_cache="
+            f"{'ok' if service.get('warm_cache_hit_no_decider') else 'FAIL'}"
+        )
+        print(f"service            {' '.join(parts)}", file=out)
+
     per_tgd: dict = {}
     for section, _ in sections:
         for row in report.get(section, []):

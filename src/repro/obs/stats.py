@@ -60,6 +60,11 @@ class ChaseStats:
         "wall_seconds",
         "suspects",
         "portfolio",
+        "sessions_opened",
+        "sessions_resumed",
+        "verdict_cache_hits",
+        "verdict_cache_misses",
+        "increment_sizes",
     )
 
     def __init__(self, kind: str = ""):
@@ -123,6 +128,15 @@ class ChaseStats:
         #: ``{"stage": name, "outcome": "settled"|"undecided"|"timeout"
         #: |<decider status>, "seconds": s}`` in cascade order.
         self.portfolio: List[dict] = []
+        #: Service tier (``kind="service"``): sessions created / facts-POST
+        #: resumes served, termination requests answered from / past the
+        #: verdict cache, and the derived-delta size of each resume in
+        #: request order (``sessions_resumed == len(increment_sizes)``).
+        self.sessions_opened = 0
+        self.sessions_resumed = 0
+        self.verdict_cache_hits = 0
+        self.verdict_cache_misses = 0
+        self.increment_sizes: List[int] = []
 
     # -- derived -----------------------------------------------------------
 
@@ -210,6 +224,10 @@ class ChaseStats:
             problems.append("budget_cuts disagrees with cut_reasons")
         if len(self.delta_sizes) != self.rounds:
             problems.append("delta_sizes length disagrees with rounds")
+        if self.sessions_resumed != len(self.increment_sizes):
+            problems.append(
+                "sessions_resumed disagrees with increment_sizes"
+            )
         if any(value < 0 for value in (
             self.rounds,
             self.triggers_discovered,
@@ -217,6 +235,10 @@ class ChaseStats:
             self.triggers_vacuous,
             self.worker_busy_seconds,
             self.parallel_wall_seconds,
+            self.sessions_opened,
+            self.sessions_resumed,
+            self.verdict_cache_hits,
+            self.verdict_cache_misses,
         )):
             problems.append("a counter went negative")
         return problems
@@ -257,6 +279,11 @@ class ChaseStats:
             "wall_seconds": round(self.wall_seconds, 6),
             "suspects": list(self.suspects),
             "portfolio": list(self.portfolio),
+            "sessions_opened": self.sessions_opened,
+            "sessions_resumed": self.sessions_resumed,
+            "verdict_cache_hits": self.verdict_cache_hits,
+            "verdict_cache_misses": self.verdict_cache_misses,
+            "increment_sizes": list(self.increment_sizes),
         }
 
     def summary(self) -> str:
@@ -279,6 +306,15 @@ class ChaseStats:
             parts.append(f"suspects={len(self.suspects)}")
         if self.portfolio:
             parts.append(f"portfolio_stages={len(self.portfolio)}")
+        if self.sessions_opened:
+            parts.append(f"sessions={self.sessions_opened}")
+        if self.sessions_resumed:
+            parts.append(f"resumes={self.sessions_resumed}")
+        if self.verdict_cache_hits or self.verdict_cache_misses:
+            parts.append(
+                "verdict_cache="
+                f"{self.verdict_cache_hits}/{self.verdict_cache_hits + self.verdict_cache_misses}"
+            )
         return " ".join(parts)
 
     def __repr__(self) -> str:

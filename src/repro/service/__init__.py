@@ -1,0 +1,46 @@
+"""Chase-as-a-service: long-lived sessions with incremental resume.
+
+The service tier (ROADMAP: "chase-as-a-service with incremental resume")
+keeps chased instances warm between requests and answers termination
+questions from a digest-keyed verdict cache:
+
+* :mod:`repro.service.session` — :class:`ChaseSession` (one warm
+  instance; post facts, get back only the newly derived delta) and
+  :class:`ChaseService` (the session store + cache + counters facade);
+* :mod:`repro.service.cache` — :class:`VerdictCache`, the LRU memo of
+  settled termination verdicts and guarded suspect scans;
+* :mod:`repro.service.http` — the stdlib asyncio HTTP front end
+  (``python -m repro.service`` / ``repro-serve`` / ``make serve``).
+
+See ``docs/SERVICE.md`` for the endpoint reference and the equivalence
+argument (sessions serve the confluent oblivious closure, so incremental
+state is byte-identical to a cold chase of the accumulated facts).
+"""
+
+from repro.service.cache import CACHEABLE_STATUSES, VerdictCache
+from repro.service.http import ChaseServer, ServerHandle, run_server, start_in_process
+from repro.service.session import (
+    COMPLETE,
+    TIMEOUT,
+    ChaseService,
+    ChaseSession,
+    budget_from_payload,
+    parse_fact_payload,
+    parse_tgd_payload,
+)
+
+__all__ = [
+    "CACHEABLE_STATUSES",
+    "COMPLETE",
+    "TIMEOUT",
+    "ChaseServer",
+    "ChaseService",
+    "ChaseSession",
+    "ServerHandle",
+    "VerdictCache",
+    "budget_from_payload",
+    "parse_fact_payload",
+    "parse_tgd_payload",
+    "run_server",
+    "start_in_process",
+]

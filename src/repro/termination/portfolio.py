@@ -70,6 +70,14 @@ LAYER_MAX_ROUNDS = 200
 #: ``ChaseStats.portfolio`` entries and the bench histogram).
 PORTFOLIO_STAGES = ("certificate", "c-stratification", "hierarchical", "decider")
 
+#: The pre-cascade memoization probe, recorded (outcome ``"hit"`` /
+#: ``"miss"``) only when a :class:`repro.service.cache.VerdictCache` is
+#: attached.  A hit is the portfolio's cheapest possible answer: the
+#: cascade — decider included — never starts, which the service layer's
+#: warm-cache acceptance check asserts by finding *only* this entry in
+#: ``ChaseStats.portfolio``.
+CACHE_STAGE = "cache"
+
 _SETTLED = "settled"
 _UNDECIDED = "undecided"
 _TIMEOUT = "timeout"
@@ -111,6 +119,15 @@ class TerminationPortfolio:
     checks (and is forwarded to the fallthrough analyzer's suspect tier);
     verdicts are identical at every worker count.  ``analyzer`` defaults
     to a fresh :class:`TerminationAnalyzer` sharing ``workers``.
+
+    ``cache`` is an optional digest-keyed verdict memo (duck-typed against
+    :class:`repro.service.cache.VerdictCache`: ``get_verdict(digest)`` /
+    ``put_verdict(digest, verdict)``) consulted *before* any stage runs —
+    a hit returns the stored verdict with a single ``"cache"`` entry in
+    ``stats.portfolio`` and no decider ever launched; a miss runs the
+    cascade and stores the verdict if it settled.  Attaching a cache never
+    changes a verdict: only settled answers (properties of the TGD set
+    alone) are stored, so replaying one is sound for every caller.
     """
 
     def __init__(
@@ -120,12 +137,14 @@ class TerminationPortfolio:
         layer_max_rounds: int = LAYER_MAX_ROUNDS,
         analyzer: Optional[TerminationAnalyzer] = None,
         parallel_backend: str = "process",
+        cache=None,
     ):
         self.workers = workers
         self.layer_max_atoms = layer_max_atoms
         self.layer_max_rounds = layer_max_rounds
         self.analyzer = analyzer or TerminationAnalyzer(workers=workers)
         self.parallel_backend = parallel_backend
+        self.cache = cache
 
     # -- the cascade -------------------------------------------------------
 
@@ -149,6 +168,36 @@ class TerminationPortfolio:
         if budget is not None:
             budget.start()
 
+        digest: Optional[str] = None
+        if self.cache is not None:
+            from repro.tgds.tgd import tgd_set_digest
+
+            digest = tgd_set_digest(tgd_list)
+            started = clock.perf_counter()
+            cached = self.cache.get_verdict(digest)
+            if cached is not None:
+                self._record(stats, CACHE_STAGE, "hit", started)
+                return cached
+            self._record(stats, CACHE_STAGE, "miss", started)
+
+        verdict = self._cascade(tgd_list, budget, stats)
+        if digest is not None:
+            # put_verdict refuses unsettled statuses itself; the guard here
+            # is only to skip the call on the common TIMEOUT path.
+            if verdict.status in (
+                Status.ALL_TERMINATING,
+                Status.NOT_ALL_TERMINATING,
+            ):
+                self.cache.put_verdict(digest, verdict)
+        return verdict
+
+    def _cascade(
+        self,
+        tgd_list,
+        budget: Optional[Budget],
+        stats,
+    ) -> Verdict:
+        """The cache-free cascade body (see :meth:`analyze`)."""
         graph: Optional[RuleDependencyGraph] = None
         stages = (
             ("certificate", self._stage_certificate),
@@ -317,9 +366,10 @@ def portfolio_analyze(
     workers: int = 1,
     budget: Optional[Budget] = None,
     stats=None,
+    cache=None,
 ) -> Verdict:
     """One-shot convenience wrapper around :class:`TerminationPortfolio`."""
-    return TerminationPortfolio(workers=workers).analyze(
+    return TerminationPortfolio(workers=workers, cache=cache).analyze(
         tgds, budget=budget, stats=stats
     )
 

@@ -10,6 +10,7 @@ counterexample); every decision procedure requires single-head inputs.
 
 from __future__ import annotations
 
+import hashlib
 import itertools
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -258,6 +259,22 @@ class MultiHeadTGD:
             cached = f"{body} -> {head}"
             object.__setattr__(self, "_repr", cached)
         return cached
+
+
+def tgd_set_digest(tgds: Sequence[TGD]) -> str:
+    """A stable hex digest identifying an *ordered* TGD list.
+
+    Hashes the concatenated :meth:`TGD.digest_prefix` values — the same
+    name-sensitive identity the trigger digests, checkpoint restore, and
+    matcher guards key off, so two sets share a digest exactly when they
+    would chase byte-identically (same rules, same names, same order).
+    This is the memoization key of the service layer's verdict cache:
+    termination is a property of the TGD set alone (the paper's
+    all-instances framing), so one digest indexes the verdict for every
+    client shipping that set.
+    """
+    payload = "".join(t.digest_prefix() for t in tgds)
+    return hashlib.blake2b(payload.encode(), digest_size=16).hexdigest()
 
 
 def parse_tgds(texts: Iterable[str]) -> List[TGD]:

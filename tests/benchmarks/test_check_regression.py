@@ -24,6 +24,8 @@ def make_report(
     portfolio_agreement=True,
     portfolio_settled=0.9,
     portfolio_speedup=20.0,
+    service_equivalence=True,
+    service_warm_cache_hit=True,
 ):
     return {
         "acceptance": {
@@ -40,6 +42,24 @@ def make_report(
             "agreement": portfolio_agreement,
             "settled_fraction": portfolio_settled,
             "settled_speedup": portfolio_speedup,
+        },
+        "service": {
+            "workload": "service_sessions",
+            "clients": 4,
+            "requests": 24,
+            "requests_per_sec": 400.0,
+            "p50_ms": 8.0,
+            "p99_ms": 30.0,
+            "equivalence": service_equivalence,
+            "warm_cache_hit_no_decider": service_warm_cache_hit,
+            "stats": {
+                "kind": "service",
+                "sessions_opened": 4,
+                "sessions_resumed": 20,
+                "verdict_cache_hits": 1,
+                "verdict_cache_misses": 1,
+                "increment_sizes": [3] * 20,
+            },
         },
         "speedups": [
             {
@@ -332,3 +352,54 @@ def test_rows_without_stats_are_fine():
     report = make_report()
     del report["obs_overheads"][1]["stats"]
     assert gate(report, margin=1.0) == []
+
+
+def test_service_equivalence_violation_is_fatal():
+    failures = gate(make_report(service_equivalence=False), margin=1.0)
+    assert any(
+        f.startswith("equivalence: service_sessions")
+        and "cold chase" in f
+        for f in failures
+    )
+
+
+def test_service_warm_cache_violation_is_fatal():
+    # The warm-hit gate is an equivalence bit: a cached answer that still
+    # launched a portfolio stage means the bypass is broken.
+    failures = gate(make_report(service_warm_cache_hit=False), margin=1.0)
+    assert any(
+        f.startswith("equivalence: service_sessions")
+        and "decider not bypassed" in f
+        for f in failures
+    )
+
+
+def test_service_resume_counter_mismatch_is_fatal():
+    report = make_report()
+    report["service"]["stats"]["increment_sizes"] = [3] * 7  # resumed says 20
+    failures = gate(report, margin=1.0)
+    assert any(
+        "sessions_resumed" in f and f.startswith("equivalence:")
+        for f in failures
+    )
+
+
+def test_service_stats_invariants_checked():
+    report = make_report()
+    report["service"]["stats"]["rounds"] = -1
+    failures = gate(report, margin=1.0)
+    assert any(
+        f.startswith("equivalence: service_sessions") and "negative" in f
+        for f in failures
+    )
+
+
+def test_missing_service_section_is_a_note_not_a_failure():
+    # Pre-service snapshots must keep passing: a note, not a failure.
+    report = make_report()
+    del report["service"]
+    failures = gate(report, margin=1.0)
+    assert failures == [
+        "note: report has no service section (pre-service snapshot) — "
+        "service gate not applied"
+    ]

@@ -1,0 +1,159 @@
+"""VerdictCache semantics and its wiring into the termination portfolio.
+
+The cache must be sound by construction: only settled verdicts stored,
+keys sensitive to rule names and order (null invention is), LRU-bounded,
+thread-safe.  The portfolio integration tests pin the acceptance
+behavior — a warm hit answers with a single ``"cache"`` portfolio entry
+and zero stage invocations, and attaching a cache never changes any
+cache-free trail the existing suites assert on.
+"""
+
+import threading
+
+import pytest
+
+from repro.chase.checkpoint import Budget
+from repro.obs.stats import ChaseStats
+from repro.service.cache import CACHEABLE_STATUSES, VerdictCache
+from repro.termination.portfolio import (
+    CACHE_STAGE,
+    PORTFOLIO_STAGES,
+    TerminationPortfolio,
+)
+from repro.termination.verdict import Status, Verdict
+from repro.tgds.tgd import parse_tgds, tgd_set_digest
+
+FULL_TGDS = parse_tgds(["E(x,y) -> F(x,y)"])  # certificate-settled: full
+
+
+def settled(status=Status.ALL_TERMINATING):
+    return Verdict(status, "test", detail="fixture")
+
+
+class TestVerdictCache:
+    def test_miss_then_hit(self):
+        cache = VerdictCache()
+        digest = cache.key_for(FULL_TGDS)
+        assert cache.get_verdict(digest) is None
+        assert cache.put_verdict(digest, settled())
+        verdict = cache.get_verdict(digest)
+        assert verdict is not None and verdict.status == Status.ALL_TERMINATING
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate() == 0.5
+
+    @pytest.mark.parametrize("status", [Status.UNKNOWN, Status.TIMEOUT])
+    def test_unsettled_verdicts_refused(self, status):
+        cache = VerdictCache()
+        assert status not in CACHEABLE_STATUSES
+        assert not cache.put_verdict("d", settled(status))
+        assert len(cache) == 0
+
+    def test_key_is_name_and_order_sensitive(self):
+        # Null invention depends on rule names and the digest on order, so
+        # equal-modulo-renaming sets must NOT share cache entries.
+        a = parse_tgds(["E(x,y) -> F(x,y)", "F(x,y) -> G(y,w)"])
+        b = list(reversed(a))
+        from repro.tgds.tgd import TGD
+
+        renamed = [TGD.parse("E(x,y) -> F(x,y)", name="other"), a[1]]
+        keys = {tgd_set_digest(a), tgd_set_digest(b), tgd_set_digest(renamed)}
+        assert len(keys) == 3
+
+    def test_lru_eviction(self):
+        cache = VerdictCache(max_entries=2)
+        for digest in ("d1", "d2"):
+            cache.put_verdict(digest, settled())
+        cache.get_verdict("d1")  # bump d1; d2 is now least-recent
+        cache.put_verdict("d3", settled())
+        assert cache.get_verdict("d1") is not None
+        assert cache.get_verdict("d2") is None
+        assert cache.get_verdict("d3") is not None
+
+    def test_suspects_ride_along_as_copies(self):
+        cache = VerdictCache()
+        rows = [{"candidate": 0, "outcome": "none", "seconds": 0.1}]
+        cache.put_suspects("d", rows)
+        rows[0]["outcome"] = "mutated"
+        stored = cache.get_suspects("d")
+        assert stored == [{"candidate": 0, "outcome": "none", "seconds": 0.1}]
+        stored[0]["outcome"] = "mutated-too"
+        assert cache.get_suspects("d")[0]["outcome"] == "none"
+        # Suspect traffic never skews the verdict hit/miss counters.
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_thread_safety_under_churn(self):
+        cache = VerdictCache(max_entries=8)
+        errors = []
+
+        def worker(base):
+            try:
+                for i in range(200):
+                    digest = f"d{(base + i) % 16}"
+                    cache.put_verdict(digest, settled())
+                    cache.get_verdict(digest)
+            except Exception as error:  # noqa: BLE001
+                errors.append(error)
+
+        threads = [threading.Thread(target=worker, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert len(cache) <= 8
+
+    def test_as_dict_shape(self):
+        cache = VerdictCache(max_entries=4)
+        cache.put_verdict("d", settled())
+        cache.get_verdict("d")
+        snapshot = cache.as_dict()
+        assert snapshot == {
+            "entries": 1,
+            "max_entries": 4,
+            "hits": 1,
+            "misses": 0,
+            "hit_rate": 1.0,
+        }
+
+
+class TestPortfolioIntegration:
+    def test_warm_hit_invokes_no_stage(self):
+        cache = VerdictCache()
+        portfolio = TerminationPortfolio(cache=cache)
+        cold_stats, warm_stats = ChaseStats(), ChaseStats()
+        cold = portfolio.analyze(FULL_TGDS, stats=cold_stats)
+        warm = portfolio.analyze(FULL_TGDS, stats=warm_stats)
+        assert cold.status == warm.status == Status.ALL_TERMINATING
+        # Cold trail: a cache miss, then the cascade from the certificate.
+        assert [e["stage"] for e in cold_stats.portfolio][:2] == [
+            CACHE_STAGE,
+            PORTFOLIO_STAGES[0],
+        ]
+        # Warm trail: exactly one cache entry — no stage ever ran.
+        assert [(e["stage"], e["outcome"]) for e in warm_stats.portfolio] == [
+            (CACHE_STAGE, "hit")
+        ]
+
+    def test_cache_free_trail_unchanged(self):
+        # Without a cache the trail must look exactly as it did pre-cache
+        # (the existing portfolio suite asserts this shape too).
+        stats = ChaseStats()
+        TerminationPortfolio().analyze(FULL_TGDS, stats=stats)
+        assert [e["stage"] for e in stats.portfolio] == [PORTFOLIO_STAGES[0]]
+
+    def test_timeout_verdicts_not_cached(self):
+        # A rule set no cheap stage settles, under a zero budget: the
+        # verdict times out and must NOT be memoized for later callers.
+        tgds = parse_tgds(["R(x,y) -> S(y,z)", "S(x,y) -> R(y,z)"])
+        cache = VerdictCache()
+        portfolio = TerminationPortfolio(cache=cache)
+        verdict = portfolio.analyze(tgds, budget=Budget(wall_seconds=0))
+        assert verdict.status in (Status.TIMEOUT, Status.UNKNOWN)
+        assert cache.get_verdict(tgd_set_digest(tgds)) is None
+
+    def test_hit_replays_equal_verdict(self):
+        cache = VerdictCache()
+        portfolio = TerminationPortfolio(cache=cache)
+        cold = portfolio.analyze(FULL_TGDS)
+        warm = portfolio.analyze(FULL_TGDS)
+        assert warm is cold  # the stored object itself, replayed
