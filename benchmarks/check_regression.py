@@ -36,6 +36,12 @@ the perf floors regress:
   portfolio stage — both are equivalence failures (never skippable); a
   report without a ``service`` section predates the service tier and
   only earns a note;
+* the ``persistent_closure`` workload's sqlite backend must be
+  byte-identical to the memory backend (gate corpus plus canonical
+  digests of the big closure — an equivalence failure, never skippable)
+  and must complete the closure inside the self-calibrated RSS cap that
+  kills the memory backend — a report without a ``persistent`` section
+  predates the disk backend and only earns a note;
 * every ``stats`` dict embedded in a report row must satisfy the
   telemetry invariants (fired ≤ discovered, hits ≤ lookups, non-negative
   counters) — a violation means the instrumentation itself is buggy, so
@@ -323,6 +329,31 @@ def gate(report: dict, margin: float) -> list:
                     f"({resumed}) disagrees with increment_sizes "
                     f"({len(sizes)} entries)"
                 )
+    persistent = report.get("persistent")
+    if persistent is None:
+        # Older snapshots predate the disk-backed backend: tolerated, noted.
+        failures.append(
+            "note: report has no persistent section (pre-persistent "
+            "snapshot) — persistent gate not applied"
+        )
+    else:
+        if not persistent.get("equivalence", False):
+            failures.append(
+                "equivalence: persistent_closure: sqlite and memory "
+                "closures differ (corpus or canonical digests)"
+            )
+        if not persistent.get("sqlite_completes_under_cap", False):
+            failures.append(
+                "persistent_closure: sqlite backend did not complete the "
+                "closure under the RSS cap "
+                f"({persistent.get('cap_bytes')} bytes)"
+            )
+        if not persistent.get("memory_oom_under_cap", False):
+            failures.append(
+                "note: persistent_closure: memory backend survived the "
+                "RSS cap — the workload no longer exceeds the in-memory "
+                "high-water mark; consider widening it"
+            )
     # Embedded stats dicts, wherever a section carries them.
     for section in (
         "speedups",

@@ -48,6 +48,14 @@ session's incremental state byte-identical (atoms *and* application
 counts) to a cold chase of its accumulated facts, and a warm
 verdict-cache hit answering without invoking any portfolio stage.
 
+Since PR 10 it also runs the ``persistent_closure`` workload
+(``bench_persistent.py``): the disk-backed sqlite instance backend
+against the memory backend — byte-identity on a gate-sized corpus plus
+canonical digests of the big closure, and an RSS-capped subprocess pair
+(``resource.setrlimit``) where the memory backend must exhaust the cap
+while the sqlite backend completes the identical closure beyond the
+in-memory high-water mark.
+
 ``benchmarks/check_regression.py`` turns the written report into a CI
 gate; see ``docs/CI.md``.
 
@@ -114,6 +122,7 @@ from bench_seminaive import (
     dense_database,
     dense_tgds,
 )
+from bench_persistent import measure_persistent
 from bench_service import measure_service
 
 #: The weakly-acyclic chain rules shared by both kernels.
@@ -437,6 +446,9 @@ def main(argv=None) -> int:
         # The service gates are equivalence bits, not ratios — a small
         # load (clients, requests/client, edges/request) suffices.
         service_clients, service_requests, service_batch = (4, 6, 8)
+        # The persistent gates are also equivalence/capability bits; the
+        # quick workload still clears the capped-subprocess calibration.
+        persistent_width, persistent_depth = (1500, 40)
     else:
         sizes, repeats = (8, 16, 32, 64), 3
         seminaive_sizes, seminaive_repeats = (16, 32, 64), 3
@@ -445,6 +457,7 @@ def main(argv=None) -> int:
         obs_sizes, obs_repeats = (64, 128), 9
         portfolio_per_family, portfolio_repeats = (6, 3)
         service_clients, service_requests, service_batch = (8, 10, 16)
+        persistent_width, persistent_depth = (3000, 60)
 
     results = []
     speedups = []
@@ -472,6 +485,7 @@ def main(argv=None) -> int:
     service_section = measure_service(
         service_clients, service_requests, service_batch
     )
+    persistent_section = measure_persistent(persistent_width, persistent_depth)
 
     # Worker/CPU provenance on every entry (single-threaded kernels are
     # workers=1), so trajectory diffs never compare across pool widths or
@@ -545,6 +559,10 @@ def main(argv=None) -> int:
         service_section["equivalence"]
         and service_section["warm_cache_hit_no_decider"]
     )
+    persistent_pass = (
+        persistent_section["equivalence"]
+        and persistent_section["sqlite_completes_under_cap"]
+    )
     verdict = {
         "threshold": SPEEDUP_THRESHOLD,
         "seminaive_threshold": SEMINAIVE_SPEEDUP_THRESHOLD,
@@ -587,6 +605,13 @@ def main(argv=None) -> int:
         "service_requests_per_sec": service_section["requests_per_sec"],
         "service_p50_ms": service_section["p50_ms"],
         "service_p99_ms": service_section["p99_ms"],
+        "persistent_equivalence": persistent_section["equivalence"],
+        "persistent_sqlite_under_cap": persistent_section[
+            "sqlite_completes_under_cap"
+        ],
+        "persistent_memory_oom_under_cap": persistent_section[
+            "memory_oom_under_cap"
+        ],
         "workers": args.workers,
         "cpu_count": cpus,
         "parallel_gate_enforced": parallel_gate_enforced,
@@ -597,7 +622,8 @@ def main(argv=None) -> int:
         and checkpoint_pass
         and obs_pass
         and portfolio_pass
-        and service_pass,
+        and service_pass
+        and persistent_pass,
     }
 
     report = {
@@ -612,6 +638,7 @@ def main(argv=None) -> int:
         "obs_overheads": obs_overheads,
         "portfolio": portfolio_section,
         "service": service_section,
+        "persistent": persistent_section,
         "acceptance": verdict,
     }
     Path(args.out).write_text(json.dumps(report, indent=2, ensure_ascii=False) + "\n")
@@ -671,6 +698,19 @@ def main(argv=None) -> int:
         f"equivalence={service_section['equivalence']}, "
         f"warm_cache_hit={service_section['warm_cache_hit_no_decider']}"
     )
+    cap_mb = (
+        round(persistent_section["cap_bytes"] / (1024 * 1024))
+        if persistent_section["cap_bytes"]
+        else "?"
+    )
+    print(
+        f"{'persistent':<16} {persistent_section['atoms']} atoms "
+        f"(width {persistent_section['width']} x depth "
+        f"{persistent_section['depth']}), equivalence="
+        f"{persistent_section['equivalence']}, cap {cap_mb}MB -> "
+        f"memory_oom={persistent_section['memory_oom_under_cap']}, "
+        f"sqlite_completes={persistent_section['sqlite_completes_under_cap']}"
+    )
     parallel_note = (
         f"{verdict['min_parallel_speedup_at_largest']}x "
         f"(threshold {PARALLEL_SPEEDUP_THRESHOLD}x, workers={args.workers}, "
@@ -697,7 +737,9 @@ def main(argv=None) -> int:
         f"{verdict['portfolio_settled_speedup']}x on the settled subset "
         f"(floor {PORTFOLIO_SPEEDUP_FLOOR}x), "
         f"service equivalence={verdict['service_equivalence']} "
-        f"warm_cache_hit={verdict['service_warm_cache_hit']} -> "
+        f"warm_cache_hit={verdict['service_warm_cache_hit']}, "
+        f"persistent equivalence={verdict['persistent_equivalence']} "
+        f"sqlite_under_cap={verdict['persistent_sqlite_under_cap']} -> "
         f"{'PASS' if verdict['pass'] else 'FAIL'}"
     )
     return 0 if verdict["pass"] else 1

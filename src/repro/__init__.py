@@ -17,6 +17,7 @@ Quickstart::
     verdict = TerminationAnalyzer().analyze(tgds)
 """
 
+from repro.backends import BackendSpec, SQLiteInstance, make_instance
 from repro.core.atoms import Atom
 from repro.core.equality import EqualityType, LabeledEqualityType
 from repro.core.instance import Database, Instance, MultisetInstance
@@ -102,7 +103,9 @@ __version__ = "1.0.0"
 __all__ = [
     # core
     "Atom", "Constant", "Null", "Term", "Variable", "Schema", "Substitution",
-    "Instance", "Database", "MultisetInstance", "EqualityType",
+    "Instance", "Database", "MultisetInstance",
+    "BackendSpec", "SQLiteInstance", "make_instance",
+    "EqualityType",
     "LabeledEqualityType", "ConjunctiveQuery", "ParseError",
     "parse_atom", "parse_atoms", "parse_database", "parse_instance",
     "core_of", "is_core", "redundancy",

@@ -1,0 +1,26 @@
+"""Instance storage backends behind one selection API.
+
+``make_instance(backend="memory"|"sqlite", ...)`` is the unified
+construction path; every chase entry point, the deciders, and the service
+layer accept the same ``backend=`` value and resolve it here.  See
+``docs/BACKENDS.md`` for the schema layout, the pragmas, and when to pick
+which backend.
+"""
+
+from repro.backends.spec import (
+    BACKENDS,
+    ENV_VAR,
+    BackendSpec,
+    make_instance,
+    resolve_backend,
+)
+from repro.backends.sqlite import SQLiteInstance
+
+__all__ = [
+    "BACKENDS",
+    "ENV_VAR",
+    "BackendSpec",
+    "SQLiteInstance",
+    "make_instance",
+    "resolve_backend",
+]

@@ -313,7 +313,8 @@ class ChaseCheckpoint:
             )
 
     def restore_engine(
-        self, tgds: Sequence[TGD], matcher=None, stats=None, assessor=None
+        self, tgds: Sequence[TGD], matcher=None, stats=None, assessor=None,
+        backend=None,
     ) -> ChaseEngine:
         """Rebuild a suspended :class:`ChaseEngine` from this snapshot.
 
@@ -324,7 +325,10 @@ class ChaseCheckpoint:
         restoration; an ``assessor`` re-enables discovery pruning on the
         restored engine (the live rule subset is a pure function of the
         rule list and the instance's predicates, so resumed runs stay
-        byte-identical with or without it).
+        byte-identical with or without it).  ``backend`` picks the storage
+        backend of the restored instance — checkpoints carry the canonical
+        atom list, never the storage, so snapshots are backend-portable in
+        both directions.
         """
         if self.version != CHECKPOINT_VERSION:
             raise CheckpointError(
@@ -352,6 +356,7 @@ class ChaseCheckpoint:
                 matcher=matcher,
                 stats=stats,
                 assessor=assessor,
+                backend=backend,
             )
         if stats is not None:
             stats.checkpoints_restored += 1

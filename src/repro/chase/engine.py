@@ -42,6 +42,7 @@ from __future__ import annotations
 import logging
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.backends import make_instance
 from repro.core.atoms import Atom
 from repro.core.homomorphism import match_atom
 from repro.core.instance import Instance
@@ -259,6 +260,7 @@ class ChaseEngine:
         matcher=None,
         stats=None,
         assessor=None,
+        backend=None,
     ):
         self.tgds: Tuple[TGD, ...] = tuple(tgds)
         #: Optional :class:`repro.chase.parallel.ParallelMatcher`; when set,
@@ -274,7 +276,13 @@ class ChaseEngine:
             seed_atoms = database.sorted_atoms()
         else:
             seed_atoms = sorted(database, key=Atom.sort_key)
-        self.instance = Instance(seed_atoms)
+        #: ``backend`` selects the instance storage backend (anything
+        #: :meth:`repro.backends.BackendSpec.parse` accepts; None resolves
+        #: the ``CHASE_BACKEND`` environment default, then memory).  The
+        #: chase semantics are backend-independent: runs are byte-identical
+        #: across backends, which the cross-backend equivalence suite and
+        #: the ``persistent`` bench gate both enforce.
+        self.instance = make_instance(backend, atoms=seed_atoms)
         #: Discovery runs over the *live* TGD subset: an optional
         #: :class:`repro.termination.dependencies.RuleDependencyGraph`
         #: assessor prunes rules whose body predicates fall outside the
@@ -307,6 +315,7 @@ class ChaseEngine:
         matcher=None,
         stats=None,
         assessor=None,
+        backend=None,
     ) -> "ChaseEngine":
         """Rebuild a (possibly mid-round) engine from checkpoint state.
 
@@ -314,14 +323,17 @@ class ChaseEngine:
         set arrive from the snapshot.  The head-witness cache and the
         instance indexes are pure functions of the insertion-ordered atom
         list, so rebuilding them lands on index-identical state — see
-        chase/checkpoint.py for the byte-identity argument.
+        chase/checkpoint.py for the byte-identity argument.  ``backend``
+        selects the storage backend of the rebuilt instance; checkpoints
+        are backend-portable (they carry the atom list, not the storage),
+        so a memory run can resume on sqlite and vice versa.
         """
         engine = cls.__new__(cls)
         engine.tgds = tgds
         _check_matcher(matcher, tgds)
         engine.matcher = matcher
         engine.stats = stats
-        engine.instance = Instance(atoms)
+        engine.instance = make_instance(backend, atoms=atoms)
         # Predicates derivable mid-run are heads of live rules, so the
         # reachable closure — hence the live subset — matches the fresh
         # engine's even though the restored instance has grown.

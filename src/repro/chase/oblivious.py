@@ -70,6 +70,7 @@ def oblivious_chase(
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
     prune: bool = True,
+    backend=None,
 ) -> ObliviousResult:
     """Compute the oblivious chase ``I_{D,T}`` up to the given bounds.
 
@@ -91,6 +92,10 @@ def oblivious_chase(
     ``budget`` exhaustion raises :class:`repro.errors.ChaseInterrupted`
     with a resume checkpoint; ``resume`` continues one byte-identically
     (``database`` is then ignored).  Both require ``"semi_naive"``.
+
+    ``backend`` selects the instance storage backend (see
+    :func:`repro.backends.make_instance`); the fixpoint is byte-identical
+    across backends.
     """
     if (budget is not None or resume is not None) and strategy != "semi_naive":
         raise ValueError(
@@ -107,7 +112,7 @@ def oblivious_chase(
     if resume is not None:
         resume.require_kind("oblivious")
         engine = resume.restore_engine(
-            tgds, matcher=matcher, stats=stats, assessor=assessor
+            tgds, matcher=matcher, stats=stats, assessor=assessor, backend=backend
         )
         applications = resume.applications
         rounds = resume.rounds
@@ -119,6 +124,7 @@ def oblivious_chase(
             matcher=matcher,
             stats=stats,
             assessor=assessor,
+            backend=backend,
         )
         applications = 0
         rounds = 0

@@ -116,6 +116,7 @@ def restricted_chase(
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
     prune: bool = True,
+    backend=None,
 ) -> ChaseResult:
     """Run one restricted chase derivation.
 
@@ -142,6 +143,11 @@ def restricted_chase(
     the interrupt's checkpoint path the caller's object is already
     populated).  Strictly passive: a run with stats attached is
     byte-identical to one without.
+
+    ``backend`` selects the instance storage backend (anything
+    :func:`repro.backends.BackendSpec.parse` accepts — ``"memory"``,
+    ``"sqlite"``, a config dict, or None for the ``CHASE_BACKEND``
+    environment default).  Results are byte-identical across backends.
     """
     if strategy == "semi_naive":
         return seminaive_chase(
@@ -154,6 +160,7 @@ def restricted_chase(
             resume=resume,
             stats=stats,
             prune=prune,
+            backend=backend,
         )
     if (budget is not None or resume is not None) and (
         callable(strategy) or strategy not in RESUMABLE_STRATEGIES
@@ -169,11 +176,15 @@ def restricted_chase(
     assessor = build_assessor(tgds) if prune else None
     if resume is not None:
         resume.require_kind(kind)
-        engine = resume.restore_engine(tgds, stats=stats, assessor=assessor)
+        engine = resume.restore_engine(
+            tgds, stats=stats, assessor=assessor, backend=backend
+        )
         derivation = resume.restore_derivation()
         steps = resume.steps
     else:
-        engine = ChaseEngine(database, tgds, stats=stats, assessor=assessor)
+        engine = ChaseEngine(
+            database, tgds, stats=stats, assessor=assessor, backend=backend
+        )
         derivation = Derivation(engine.instance)
         steps = 0
     if budget is not None:
@@ -233,6 +244,7 @@ def seminaive_chase(
     resume: Optional[ChaseCheckpoint] = None,
     stats=None,
     prune: bool = True,
+    backend=None,
 ) -> ChaseResult:
     """The set-at-a-time restricted chase (``strategy="semi_naive"``).
 
@@ -268,14 +280,15 @@ def seminaive_chase(
     if resume is not None:
         resume.require_kind("semi_naive")
         engine = resume.restore_engine(
-            tgds, matcher=matcher, stats=stats, assessor=assessor
+            tgds, matcher=matcher, stats=stats, assessor=assessor, backend=backend
         )
         derivation = resume.restore_derivation()
         steps = resume.steps
         rounds = resume.rounds
     else:
         engine = ChaseEngine(
-            database, tgds, matcher=matcher, stats=stats, assessor=assessor
+            database, tgds, matcher=matcher, stats=stats, assessor=assessor,
+            backend=backend,
         )
         derivation = Derivation(engine.instance)
         steps = 0

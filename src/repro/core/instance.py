@@ -141,6 +141,14 @@ class Instance:
     The indexes make homomorphism search and active-trigger checks cheap:
     candidates for a body atom are the intersection of the buckets of its
     bound positions instead of a scan over the whole instance.
+
+    This class is the *memory backend* of the instance contract; the
+    disk-backed :class:`repro.backends.sqlite.SQLiteInstance` implements
+    the same interface over an on-disk file.  Code that should stay
+    backend-agnostic builds instances through
+    :func:`repro.backends.make_instance` (or passes ``backend=`` to a
+    chase entry point) instead of constructing ``Instance()`` directly —
+    direct construction keeps working, but pins the memory backend.
     """
 
     def __init__(self, atoms: Optional[Iterable[Atom]] = None):
@@ -264,19 +272,22 @@ class Instance:
         return bool(self._atoms)
 
     def __eq__(self, other) -> bool:
-        if isinstance(other, Instance):
-            return self._atoms.keys() == other._atoms.keys()
-        if isinstance(other, (set, frozenset)):
-            return self._atoms.keys() == other
+        # Set equality across *any* backend pair: compare sizes, then
+        # membership — never the private dict, which a disk-backed
+        # instance does not have.
+        if isinstance(other, (Instance, set, frozenset)):
+            if len(self) != len(other):
+                return False
+            return all(atom in other for atom in self)
         return NotImplemented
 
     def atoms(self) -> Set[Atom]:
         """A copy of the underlying atom set."""
-        return set(self._atoms)
+        return set(self)
 
     def sorted_atoms(self) -> list:
         """Atoms in deterministic order."""
-        return sorted(self._atoms, key=Atom.sort_key)
+        return sorted(self, key=Atom.sort_key)
 
     def copy(self) -> "Instance":
         clone = Instance()
@@ -288,7 +299,7 @@ class Instance:
     def domain(self) -> Set[Term]:
         """The active domain ``dom(I)``: all terms occurring in the instance."""
         dom: Set[Term] = set()
-        for atom in self._atoms:
+        for atom in self:
             dom.update(atom.terms)
         return dom
 
@@ -303,11 +314,11 @@ class Instance:
 
     def schema(self) -> Schema:
         """The schema induced by the atoms of this instance."""
-        return Schema.from_atoms(self._atoms)
+        return Schema.from_atoms(self)
 
     def is_database(self) -> bool:
         """True iff every atom is a fact (constants only)."""
-        return all(atom.is_fact for atom in self._atoms)
+        return all(atom.is_fact for atom in self)
 
     def __repr__(self) -> str:
         atoms = ", ".join(repr(a) for a in self.sorted_atoms())

@@ -220,25 +220,41 @@ def _try_replay(
 _TIMEOUT = "timeout"
 
 
+def release(instance) -> None:
+    """Close a scratch chase instance if its backend has resources to free.
+
+    Disk-backed instances are scratch state in the decider and portfolio
+    probes: close them (and their temp files) as soon as the probe is done
+    with them, rather than trusting GC timing inside a soon-terminated
+    pool worker.  ``None`` and memory instances pass through untouched.
+    """
+    close = getattr(instance, "close", None)
+    if close is not None:
+        close()
+
+
 def _suspect_scan(payload):
     """One divergence-suspect task: chase a candidate database, hunt a pump.
 
     Module-level so :func:`repro.chase.parallel.parallel_map` can ship it to
     a process pool; the payload is ``(database, tgds, max_steps, replays)``
     — optionally extended with a fifth element, the remaining wall-clock
-    seconds — and the returned ``(outcome, seconds)`` pair pickles back,
-    where ``outcome`` is the :class:`PumpWitness` (or None, or the
-    ``"timeout"`` sentinel) and ``seconds`` is the task's own duration for
-    the decider stats.  The strategy ladder — a divergence-biased LIFO
-    probe, then the semi-naive engine (byte-identical to fifo) — is exactly
-    the serial loop's, so a parallel scan reproduces serial verdicts
-    database for database.
+    seconds, and a sixth, the instance backend spec — and the returned
+    ``(outcome, seconds)`` pair pickles back, where ``outcome`` is the
+    :class:`PumpWitness` (or None, or the ``"timeout"`` sentinel) and
+    ``seconds`` is the task's own duration for the decider stats.  The
+    strategy ladder — a divergence-biased LIFO probe, then the semi-naive
+    engine (byte-identical to fifo) — is exactly the serial loop's, so a
+    parallel scan reproduces serial verdicts database for database.
     """
+    backend = None
     if len(payload) == 4:
         database, tgds, max_steps, replays = payload
         remaining = None
-    else:
+    elif len(payload) == 5:
         database, tgds, max_steps, replays, remaining = payload
+    else:
+        database, tgds, max_steps, replays, remaining, backend = payload
     budget = Budget(wall_seconds=remaining) if remaining is not None else None
     start = clock.perf_counter()
     with trace.span("decider.suspect", atoms=len(database)):
@@ -248,16 +264,25 @@ def _suspect_scan(payload):
             outcome = None
             for strategy in ("lifo", "semi_naive"):
                 run = restricted_chase(
-                    database, tgds, strategy=strategy, max_steps=max_steps, budget=budget
+                    database,
+                    tgds,
+                    strategy=strategy,
+                    max_steps=max_steps,
+                    budget=budget,
+                    backend=backend,
                 )
-                if run.terminated:
-                    continue
-                pump = find_pump(database, tgds, run.derivation, replays=replays)
+                try:
+                    if run.terminated:
+                        continue
+                    pump = find_pump(database, tgds, run.derivation, replays=replays)
+                finally:
+                    release(run.instance)
                 if pump is not None:
                     outcome = pump
                     break
-        except ChaseInterrupted:
+        except ChaseInterrupted as interrupted:
             outcome = _TIMEOUT
+            release(interrupted.instance)
     return outcome, clock.perf_counter() - start
 
 
@@ -275,6 +300,7 @@ def scan_suspects(
     workers: int = 1,
     budget: Optional[Budget] = None,
     stats=None,
+    backend=None,
 ) -> Optional[Tuple[Instance, PumpWitness]]:
     """Run the suspect chases; return the first (by candidate order) pump.
 
@@ -293,6 +319,11 @@ def scan_suspects(
     ``stats`` (a :class:`repro.obs.stats.ChaseStats`) collects one
     ``suspects`` entry per completed suspect chase — candidate index,
     outcome, duration — in candidate order.
+
+    ``backend`` selects the instance storage backend of each suspect chase
+    (see :func:`repro.backends.make_instance`).  With ``"sqlite"`` leave
+    the path unset: each chase then gets its own auto-removed temp file,
+    which is what a parallel scan requires.
     """
     from repro.chase.parallel import parallel_map
 
@@ -325,6 +356,10 @@ def scan_suspects(
                 if budget.out_of_time():
                     interrupt(index)
                 payload = payload + (budget.remaining_seconds(),)
+            if backend is not None:
+                if len(payload) == 4:
+                    payload = payload + (None,)
+                payload = payload + (backend,)
             pump, seconds = _suspect_scan(payload)
             record(index, pump, seconds)
             if pump == _TIMEOUT:
@@ -333,10 +368,13 @@ def scan_suspects(
                 return database, pump
         return None
     remaining = budget.remaining_seconds() if budget is not None else None
+    tail = ()
+    if backend is not None:
+        tail = (remaining, backend)
+    elif remaining is not None:
+        tail = (remaining,)
     payloads = [
-        (database, tgd_list, max_steps, replays)
-        + ((remaining,) if remaining is not None else ())
-        for database in candidates
+        (database, tgd_list, max_steps, replays) + tail for database in candidates
     ]
     results = parallel_map(_suspect_scan, payloads, workers=workers)
     for index, (result, seconds) in enumerate(results):
@@ -376,6 +414,7 @@ def decide_guarded(
     workers: int = 1,
     budget: Optional[Budget] = None,
     stats=None,
+    backend=None,
 ) -> Verdict:
     """The certifying decision procedure for guarded sets (DESIGN.md §3).
 
@@ -422,6 +461,7 @@ def decide_guarded(
             workers=workers,
             budget=budget,
             stats=stats,
+            backend=backend,
         )
     except ChaseInterrupted as interrupted:
         return budget_verdict(interrupted, method="guarded-budget")

@@ -53,6 +53,15 @@ def main(argv=None) -> int:
         default=DEFAULT_WALL_SECONDS,
         help="default per-request wall budget (requests may set their own)",
     )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        help=(
+            "default instance storage backend for new sessions "
+            "(memory | sqlite; sessions may request their own). "
+            "Unset, the CHASE_BACKEND environment variable applies."
+        ),
+    )
     args = parser.parse_args(argv)
 
     from repro.service.http import run_server
@@ -65,6 +74,7 @@ def main(argv=None) -> int:
         max_atoms=args.max_atoms,
         max_rounds=args.max_rounds,
         default_wall_seconds=args.wall_seconds,
+        backend=args.backend,
     )
     return 0
 

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import signal
 import threading
 from typing import Optional, Tuple
 
@@ -252,7 +253,10 @@ class ChaseServer:
         tgds = parse_tgd_payload(payload.get("tgds"))
         facts = parse_fact_payload(payload.get("facts"))
         budget = self.service.budget_for(payload.get("budget"))
-        result = await self._run(self.service.create_session, tgds, facts, budget)
+        backend = payload.get("backend")
+        result = await self._run(
+            self.service.create_session, tgds, facts, budget, backend
+        )
         result["derived"] = [repr(atom) for atom in result["derived"]]
         return result
 
@@ -364,7 +368,19 @@ def run_server(
             f"(workers={server.service.workers})",
             flush=True,
         )
-        await server.serve_forever()
+        # Shut down through server.stop() on SIGINT/SIGTERM: open sessions
+        # must be closed, or disk-backed ones leak their temp databases.
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(signum, stop.set)
+            except (NotImplementedError, RuntimeError):
+                pass
+        try:
+            await stop.wait()
+        finally:
+            await server.stop()
 
     try:
         asyncio.run(main())

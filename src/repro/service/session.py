@@ -45,6 +45,7 @@ import itertools
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from repro.backends import BackendSpec
 from repro.core.atoms import Atom
 from repro.core.instance import Instance
 from repro.core.parsing import parse_atoms
@@ -125,6 +126,21 @@ def parse_fact_payload(value, field: str = "facts") -> List[Atom]:
         raise ServiceError(f"malformed {field}: {error}") from error
 
 
+def parse_backend_payload(value, default=None) -> BackendSpec:
+    """Validate a request's ``backend`` field (string or config object).
+
+    ``None`` falls back to ``default`` (the server-level backend, itself
+    already a parsed :class:`repro.backends.BackendSpec`).  Anything
+    :meth:`BackendSpec.parse` rejects is a client error (HTTP 400).
+    """
+    if value is None:
+        return default if default is not None else BackendSpec.parse(None)
+    try:
+        return BackendSpec.parse(value)
+    except (TypeError, ValueError) as error:
+        raise ServiceError(f"invalid backend: {error}") from error
+
+
 def parse_tgd_payload(value) -> List[TGD]:
     """Parse a request's TGD set (a list of rule strings)."""
     if (
@@ -151,6 +167,7 @@ class ChaseSession:
         parallel_backend: str = "process",
         max_atoms: int = DEFAULT_MAX_ATOMS,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        backend=None,
     ):
         self.session_id = session_id
         self.tgds = tuple(tgds)
@@ -159,6 +176,8 @@ class ChaseSession:
         self.workers = workers
         self.max_atoms = max_atoms
         self.max_rounds = max_rounds
+        #: The resolved storage backend of this session's instance.
+        self.backend = BackendSpec.parse(backend)
         self._matcher = None
         if workers > 1:
             from repro.chase.chaos import build_matcher
@@ -173,6 +192,7 @@ class ChaseSession:
             self.tgds,
             track_witnesses=False,
             matcher=self._matcher,
+            backend=self.backend,
         )
         #: Completed saturation rounds / atom-producing applications, the
         #: same accounting ``oblivious_chase`` reports.
@@ -199,8 +219,13 @@ class ChaseSession:
         parallel_backend: str = "process",
         max_atoms: int = DEFAULT_MAX_ATOMS,
         max_rounds: int = DEFAULT_MAX_ROUNDS,
+        backend=None,
     ) -> "ChaseSession":
-        """Rebuild a session from its persisted checkpoint (digest-guarded)."""
+        """Rebuild a session from its persisted checkpoint (digest-guarded).
+
+        Checkpoints are backend-portable, so ``backend`` may differ from
+        the backend the checkpointed session ran on.
+        """
         checkpoint.require_kind("oblivious")
         session = cls.__new__(cls)
         session.session_id = session_id
@@ -209,6 +234,7 @@ class ChaseSession:
         session.workers = workers
         session.max_atoms = max_atoms
         session.max_rounds = max_rounds
+        session.backend = BackendSpec.parse(backend)
         session._matcher = None
         if workers > 1:
             from repro.chase.chaos import build_matcher
@@ -217,7 +243,7 @@ class ChaseSession:
                 session.tgds, workers=workers, backend=parallel_backend
             )
         session.engine = checkpoint.restore_engine(
-            session.tgds, matcher=session._matcher
+            session.tgds, matcher=session._matcher, backend=session.backend
         )
         session.rounds = checkpoint.rounds
         session.applications = checkpoint.applications
@@ -342,6 +368,7 @@ class ChaseSession:
                 "facts_accepted": self.facts_accepted,
                 "increments": self.increments,
                 "workers": self.workers,
+                "backend": self.backend.describe(),
                 "suspended": self.suspended_reason is not None,
                 "suspended_reason": self.suspended_reason,
             }
@@ -352,6 +379,11 @@ class ChaseSession:
             if self._matcher is not None:
                 self._matcher.close()
                 self._matcher = None
+            # Disk-backed instances release their connections (and a
+            # session-private temp file) promptly rather than at GC time.
+            instance_close = getattr(self.engine.instance, "close", None)
+            if instance_close is not None:
+                instance_close()
 
     def __repr__(self) -> str:
         return (
@@ -379,12 +411,16 @@ class ChaseService:
         default_wall_seconds: Optional[float] = DEFAULT_WALL_SECONDS,
         cache: Optional[VerdictCache] = None,
         stats: Optional[ChaseStats] = None,
+        backend=None,
     ):
         self.workers = workers
         self.parallel_backend = parallel_backend
         self.max_atoms = max_atoms
         self.max_rounds = max_rounds
         self.default_wall_seconds = default_wall_seconds
+        #: The default instance backend of new sessions (a per-request
+        #: ``"backend"`` field overrides it session by session).
+        self.backend = BackendSpec.parse(backend)
         self.cache = cache if cache is not None else VerdictCache()
         self.stats = stats if stats is not None else ChaseStats("service")
         if not self.stats.kind:
@@ -400,8 +436,14 @@ class ChaseService:
         tgds: Sequence[TGD],
         facts: Iterable[Atom],
         budget: Optional[Budget] = None,
+        backend=None,
     ) -> dict:
-        """Open a session, chase the base facts, report the first increment."""
+        """Open a session, chase the base facts, report the first increment.
+
+        ``backend`` overrides the service-level instance backend for this
+        session only (anything :meth:`BackendSpec.parse` accepts).
+        """
+        spec = parse_backend_payload(backend, default=self.backend)
         with self._lock:
             session_id = f"s{next(self._ids)}"
         session = ChaseSession(
@@ -412,6 +454,7 @@ class ChaseService:
             parallel_backend=self.parallel_backend,
             max_atoms=self.max_atoms,
             max_rounds=self.max_rounds,
+            backend=spec,
         )
         with self._lock:
             self.sessions[session_id] = session
@@ -421,6 +464,7 @@ class ChaseService:
         result = session.post_facts(facts, budget=budget)
         result["session"] = session_id
         result["digest"] = session.digest
+        result["backend"] = session.backend.describe()
         return result
 
     def get(self, session_id: str) -> ChaseSession:
@@ -519,8 +563,13 @@ class ChaseService:
     def statz(self) -> dict:
         with self._lock:
             sessions = len(self.sessions)
+            backends: Dict[str, int] = {}
+            for session in self.sessions.values():
+                name = session.backend.name
+                backends[name] = backends.get(name, 0) + 1
         return {
             "sessions": sessions,
+            "backends": backends,
             "stats": self.stats.as_dict(),
             "verdict_cache": self.cache.as_dict(),
         }

@@ -70,6 +70,7 @@ class TerminationAnalyzer:
         guarded_max_steps: int = 60,
         replays: int = 3,
         workers: int = 1,
+        backend=None,
     ):
         self.sticky_max_states = sticky_max_states
         self.guarded_max_steps = guarded_max_steps
@@ -78,6 +79,10 @@ class TerminationAnalyzer:
         #: suspects are independent chases, so they parallelize whole; the
         #: candidate-order result scan keeps verdicts serial-identical.
         self.workers = workers
+        #: Instance storage backend for the suspect chases (anything
+        #: :func:`repro.backends.BackendSpec.parse` accepts); verdicts are
+        #: backend-independent.
+        self.backend = backend
 
     def classify(self, tgds: Sequence[TGD]) -> Classification:
         return Classification(tgds)
@@ -114,6 +119,7 @@ class TerminationAnalyzer:
                 workers=self.workers,
                 budget=budget,
                 stats=stats,
+                backend=self.backend,
             )
         # General single-head TGDs: sound certificates + sound witnesses only.
         certificate = terminating_certificate(tgd_list)
@@ -145,6 +151,7 @@ class TerminationAnalyzer:
                 workers=self.workers,
                 budget=budget,
                 stats=stats,
+                backend=self.backend,
             )
         except ChaseInterrupted as interrupted:
             return budget_verdict(interrupted, method="general-budget")

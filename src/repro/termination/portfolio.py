@@ -50,6 +50,7 @@ from typing import List, Optional, Sequence, Tuple
 from repro.chase.checkpoint import Budget
 from repro.chase.oblivious import oblivious_chase
 from repro.errors import ChaseInterrupted
+from repro.guarded.decision import release
 from repro.obs import clock
 from repro.termination.analyzer import TerminationAnalyzer
 from repro.termination.critical import critical_database
@@ -87,12 +88,14 @@ def _check_layer(payload) -> Tuple[str, Optional[str]]:
     """Certify one layer; module-level so it ships to process pools.
 
     ``payload`` is ``(layer_tgds, max_atoms, max_rounds, wall_seconds)``
-    with ``wall_seconds`` = remaining wall budget or None.  Returns
-    ``(outcome, certificate)`` with outcome ``"settled"`` /
+    with ``wall_seconds`` = remaining wall budget or None, optionally
+    followed by an instance-backend spec (see ``repro.backends``).
+    Returns ``(outcome, certificate)`` with outcome ``"settled"`` /
     ``"undecided"`` / ``"timeout"``.  Only conditions that bound the
     layer's semi-oblivious chase are used (see module docstring).
     """
-    layer, max_atoms, max_rounds, wall_seconds = payload
+    layer, max_atoms, max_rounds, wall_seconds = payload[:4]
+    backend = payload[4] if len(payload) > 4 else None
     certificate = terminating_certificate(layer)
     if certificate is not None:
         return _SETTLED, certificate
@@ -104,12 +107,16 @@ def _check_layer(payload) -> Tuple[str, Optional[str]]:
             max_atoms=max_atoms,
             max_rounds=max_rounds,
             budget=budget,
+            backend=backend,
         )
-    except ChaseInterrupted:
+    except ChaseInterrupted as interrupted:
+        # Disk-backed scratch instances are closed here, in the worker
+        # that owns them — pool teardown never runs finalizers.
+        release(interrupted.instance)
         return _TIMEOUT, None
-    if result.terminated:
-        return _SETTLED, "critical-oblivious"
-    return _UNDECIDED, None
+    outcome = (_SETTLED, "critical-oblivious") if result.terminated else (_UNDECIDED, None)
+    release(result.instance)
+    return outcome
 
 
 class TerminationPortfolio:
@@ -138,13 +145,17 @@ class TerminationPortfolio:
         analyzer: Optional[TerminationAnalyzer] = None,
         parallel_backend: str = "process",
         cache=None,
+        backend=None,
     ):
         self.workers = workers
         self.layer_max_atoms = layer_max_atoms
         self.layer_max_rounds = layer_max_rounds
-        self.analyzer = analyzer or TerminationAnalyzer(workers=workers)
+        self.analyzer = analyzer or TerminationAnalyzer(
+            workers=workers, backend=backend
+        )
         self.parallel_backend = parallel_backend
         self.cache = cache
+        self.backend = backend
 
     # -- the cascade -------------------------------------------------------
 
@@ -264,8 +275,12 @@ class TerminationPortfolio:
     def _stage_hierarchical(self, tgds, graph, budget) -> Optional[Verdict]:
         layers = graph.layers()
         remaining = budget.remaining_seconds() if budget is not None else None
+        # The backend rides along only when set, so pickled payload shapes
+        # (and their digests in older transcripts) are unchanged without it.
+        tail = (self.backend,) if self.backend is not None else ()
         payloads = [
             (layer, self.layer_max_atoms, self.layer_max_rounds, remaining)
+            + tail
             for layer in layers
         ]
         if self.workers <= 1:
@@ -313,20 +328,29 @@ class TerminationPortfolio:
         A :class:`ChaseInterrupted` from the layer chase propagates to the
         cascade loop, which renders it as the ``TIMEOUT`` verdict.
         """
-        layer, max_atoms, max_rounds, _ = payload
+        layer, max_atoms, max_rounds = payload[:3]
         certificate = terminating_certificate(layer)
         if certificate is not None:
             return _SETTLED, certificate
-        result = oblivious_chase(
-            critical_database(layer),
-            layer,
-            max_atoms=max_atoms,
-            max_rounds=max_rounds,
-            budget=budget,
+        try:
+            result = oblivious_chase(
+                critical_database(layer),
+                layer,
+                max_atoms=max_atoms,
+                max_rounds=max_rounds,
+                budget=budget,
+                backend=self.backend,
+            )
+        except ChaseInterrupted as interrupted:
+            release(interrupted.instance)
+            raise
+        outcome = (
+            (_SETTLED, "critical-oblivious")
+            if result.terminated
+            else (_UNDECIDED, None)
         )
-        if result.terminated:
-            return _SETTLED, "critical-oblivious"
-        return _UNDECIDED, None
+        release(result.instance)
+        return outcome
 
     # -- bookkeeping -------------------------------------------------------
 

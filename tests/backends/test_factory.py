@@ -1,0 +1,121 @@
+"""The backend-selection API: ``BackendSpec`` parsing and ``make_instance``."""
+
+import os
+
+import pytest
+
+from repro.backends import (
+    BACKENDS,
+    ENV_VAR,
+    BackendSpec,
+    SQLiteInstance,
+    make_instance,
+)
+from repro.core.atoms import Atom
+from repro.core.instance import Instance
+from repro.core.terms import Constant
+
+
+def atom(p, *names):
+    return Atom(p, [Constant(n) for n in names])
+
+
+class TestBackendSpec:
+    def test_default_is_memory(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        assert BackendSpec().name == "memory"
+        assert BackendSpec.parse(None).name == "memory"
+
+    def test_parse_string(self):
+        assert BackendSpec.parse("sqlite").name == "sqlite"
+
+    def test_parse_dict(self):
+        spec = BackendSpec.parse({"name": "sqlite", "path": "/tmp/x.sqlite"})
+        assert spec.name == "sqlite"
+        assert spec.path == "/tmp/x.sqlite"
+
+    def test_parse_dict_backend_alias(self):
+        assert BackendSpec.parse({"backend": "sqlite"}).name == "sqlite"
+
+    def test_parse_passthrough(self):
+        spec = BackendSpec("sqlite")
+        assert BackendSpec.parse(spec) is spec
+
+    def test_parse_env_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sqlite")
+        assert BackendSpec.parse(None).name == "sqlite"
+        monkeypatch.setenv(ENV_VAR, "")
+        assert BackendSpec.parse(None).name == "memory"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sqlite")
+        assert BackendSpec.parse("memory").name == "memory"
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            BackendSpec.parse("lmdb")
+
+    def test_memory_rejects_path(self):
+        with pytest.raises(ValueError, match="takes no path"):
+            BackendSpec("memory", path="/tmp/x.sqlite")
+
+    def test_unknown_option(self):
+        with pytest.raises(ValueError, match="unknown sqlite backend option"):
+            BackendSpec.parse({"name": "sqlite", "bogus": 1})
+
+    def test_describe(self):
+        assert BackendSpec("memory").describe() == "memory"
+        assert "x.sqlite" in BackendSpec("sqlite", path="/tmp/x.sqlite").describe()
+
+    def test_backends_constant(self):
+        assert set(BACKENDS) == {"memory", "sqlite"}
+
+
+class TestMakeInstance:
+    def test_memory_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        instance = make_instance()
+        assert type(instance) is Instance
+
+    def test_memory_with_atoms(self):
+        instance = make_instance("memory", atoms=[atom("R", "a", "b")])
+        assert len(instance) == 1
+
+    def test_sqlite(self):
+        instance = make_instance("sqlite", atoms=[atom("R", "a", "b")])
+        try:
+            assert isinstance(instance, SQLiteInstance)
+            assert isinstance(instance, Instance)
+            assert len(instance) == 1
+            assert os.path.exists(instance.path)
+        finally:
+            instance.close()
+        assert not os.path.exists(instance.path)
+
+    def test_sqlite_explicit_path(self, tmp_path):
+        path = str(tmp_path / "chase.sqlite")
+        instance = make_instance("sqlite", atoms=[atom("R", "a")], path=path)
+        try:
+            assert instance.path == path
+        finally:
+            instance.close()
+        # Explicit paths are the caller's: close() must not remove them.
+        assert os.path.exists(path)
+
+    def test_env_var_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "sqlite")
+        instance = make_instance(atoms=[])
+        try:
+            assert isinstance(instance, SQLiteInstance)
+        finally:
+            instance.close()
+
+    def test_kwarg_validation(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_instance("lmdb")
+        with pytest.raises(ValueError, match="takes no path"):
+            make_instance("memory", path="/tmp/x.sqlite")
+        with pytest.raises(ValueError, match="unknown sqlite backend option"):
+            make_instance("sqlite", bogus=True)
+        with pytest.raises(ValueError, match="synchronous"):
+            make_instance("sqlite", synchronous="SOMETIMES")

@@ -26,6 +26,9 @@ def make_report(
     portfolio_speedup=20.0,
     service_equivalence=True,
     service_warm_cache_hit=True,
+    persistent_equivalence=True,
+    persistent_sqlite_under_cap=True,
+    persistent_memory_oom=True,
 ):
     return {
         "acceptance": {
@@ -60,6 +63,17 @@ def make_report(
                 "verdict_cache_misses": 1,
                 "increment_sizes": [3] * 20,
             },
+        },
+        "persistent": {
+            "workload": "persistent_closure",
+            "width": 1500,
+            "depth": 40,
+            "atoms": 61500,
+            "gate_corpus_sets": 9,
+            "equivalence": persistent_equivalence,
+            "cap_bytes": 116037632,
+            "memory_oom_under_cap": persistent_memory_oom,
+            "sqlite_completes_under_cap": persistent_sqlite_under_cap,
         },
         "speedups": [
             {
@@ -392,6 +406,45 @@ def test_service_stats_invariants_checked():
         f.startswith("equivalence: service_sessions") and "negative" in f
         for f in failures
     )
+
+
+def test_persistent_equivalence_violation_is_fatal():
+    failures = gate(make_report(persistent_equivalence=False), margin=1.0)
+    assert any(
+        f.startswith("equivalence: persistent_closure") for f in failures
+    )
+
+
+def test_persistent_sqlite_under_cap_failure_caught():
+    failures = gate(
+        make_report(persistent_sqlite_under_cap=False), margin=1.0
+    )
+    assert any(
+        "persistent_closure" in f
+        and "under the RSS cap" in f
+        and not f.startswith("equivalence:")
+        for f in failures
+    )
+
+
+def test_persistent_memory_surviving_cap_is_a_note():
+    # The memory backend squeaking under the cap means the workload is no
+    # longer beyond the in-memory high-water mark — worth flagging, but the
+    # disk backend's own capability gate still holds.
+    failures = gate(make_report(persistent_memory_oom=False), margin=1.0)
+    assert failures
+    assert all(f.startswith("note: persistent_closure") for f in failures)
+
+
+def test_missing_persistent_section_is_a_note_not_a_failure():
+    # Pre-PR10 snapshots must keep passing: a note, not a failure.
+    report = make_report()
+    del report["persistent"]
+    failures = gate(report, margin=1.0)
+    assert failures == [
+        "note: report has no persistent section (pre-persistent "
+        "snapshot) — persistent gate not applied"
+    ]
 
 
 def test_missing_service_section_is_a_note_not_a_failure():

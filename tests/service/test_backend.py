@@ -1,0 +1,171 @@
+"""Backend selection through the service layer.
+
+Covers the per-request ``"backend"`` field on session create, the
+service-level default, per-session backend reporting in ``info()`` and
+``/statz``, rejection of invalid specs, and byte-identity of a
+sqlite-backed session's canonical serialization with a memory one.
+"""
+
+import http.client
+import json
+
+import pytest
+
+from repro.errors import ServiceError
+from repro.service.http import start_in_process
+from repro.service.session import (
+    ChaseService,
+    parse_backend_payload,
+    parse_fact_payload,
+    parse_tgd_payload,
+)
+
+CHAIN = ["E(x,y) -> F(x,y)", "F(x,y) -> G(y,w)", "G(x,y) -> H(x)"]
+
+
+def make(tgds=CHAIN, facts="E(a,b)"):
+    return parse_tgd_payload(tgds), parse_fact_payload(facts)
+
+
+class TestParseBackendPayload:
+    def test_none_defaults_to_memory(self, monkeypatch):
+        monkeypatch.delenv("CHASE_BACKEND", raising=False)
+        assert parse_backend_payload(None).name == "memory"
+
+    def test_none_falls_back_to_service_default(self):
+        from repro.backends import BackendSpec
+
+        default = BackendSpec("sqlite")
+        assert parse_backend_payload(None, default=default) is default
+
+    def test_string_and_dict(self):
+        assert parse_backend_payload("sqlite").name == "sqlite"
+        assert parse_backend_payload({"name": "sqlite"}).name == "sqlite"
+
+    @pytest.mark.parametrize("bad", ["lmdb", {"name": "sqlite", "bogus": 1}, 7])
+    def test_invalid_is_service_error(self, bad):
+        with pytest.raises(ServiceError, match="invalid backend"):
+            parse_backend_payload(bad)
+
+
+class TestServiceBackend:
+    def test_session_backend_override_and_statz(self, monkeypatch):
+        monkeypatch.delenv("CHASE_BACKEND", raising=False)
+        service = ChaseService()
+        try:
+            tgds, facts = make()
+            memory = service.create_session(tgds, facts)
+            sqlite = service.create_session(tgds, facts, backend="sqlite")
+            assert memory["backend"] == "memory"
+            assert sqlite["backend"] == "sqlite"
+            statz = service.statz()
+            assert statz["sessions"] == 2
+            assert statz["backends"] == {"memory": 1, "sqlite": 1}
+            info = service.get(sqlite["session"]).info()
+            assert info["backend"] == "sqlite"
+        finally:
+            service.close()
+
+    def test_service_level_default(self):
+        service = ChaseService(backend="sqlite")
+        try:
+            tgds, facts = make()
+            created = service.create_session(tgds, facts)
+            assert created["backend"] == "sqlite"
+            assert service.statz()["backends"] == {"sqlite": 1}
+        finally:
+            service.close()
+
+    def test_sqlite_session_serves_identical_closure(self):
+        service = ChaseService()
+        try:
+            tgds, facts = make()
+            memory = service.create_session(tgds, facts)
+            sqlite = service.create_session(tgds, facts, backend="sqlite")
+            more = parse_fact_payload("E(b,c), E(c,d)")
+            memory_post = service.post_facts(memory["session"], more)
+            sqlite_post = service.post_facts(sqlite["session"], more)
+            assert memory_post["derived"] == sqlite_post["derived"]
+            assert memory_post["atoms"] == sqlite_post["atoms"]
+            memory_atoms = service.get(memory["session"]).canonical_atoms()
+            sqlite_atoms = service.get(sqlite["session"]).canonical_atoms()
+            assert memory_atoms == sqlite_atoms
+        finally:
+            service.close()
+
+    def test_invalid_backend_rejected_before_session_exists(self):
+        service = ChaseService()
+        try:
+            tgds, facts = make()
+            with pytest.raises(ServiceError, match="invalid backend"):
+                service.create_session(tgds, facts, backend="lmdb")
+            assert service.statz()["sessions"] == 0
+        finally:
+            service.close()
+
+    def test_checkpoint_restore_onto_sqlite(self):
+        from repro.service.session import ChaseSession
+
+        service = ChaseService()
+        try:
+            tgds, facts = make()
+            created = service.create_session(tgds, facts)
+            session = service.get(created["session"])
+            checkpoint = session.checkpoint()
+            restored = ChaseSession.from_checkpoint(
+                "r1", tgds, checkpoint, backend="sqlite"
+            )
+            try:
+                assert restored.backend.name == "sqlite"
+                assert restored.canonical_atoms() == session.canonical_atoms()
+            finally:
+                restored.close()
+        finally:
+            service.close()
+
+
+@pytest.fixture(scope="module")
+def server():
+    handle = start_in_process(default_wall_seconds=None)
+    yield handle
+    handle.close()
+
+
+def request(server, method, path, payload=None):
+    conn = http.client.HTTPConnection(server.host, server.port, timeout=30)
+    try:
+        body = json.dumps(payload) if payload is not None else None
+        conn.request(method, path, body=body)
+        response = conn.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        conn.close()
+
+
+class TestHTTPBackend:
+    def test_create_with_backend_field(self, server):
+        status, data = request(
+            server,
+            "POST",
+            "/v1/sessions",
+            {"tgds": CHAIN, "facts": "E(a,b)", "backend": "sqlite"},
+        )
+        assert status == 200, data
+        assert data["backend"] == "sqlite"
+        status, info = request(server, "GET", f"/v1/sessions/{data['session']}")
+        assert status == 200
+        assert info["backend"] == "sqlite"
+        status, statz = request(server, "GET", "/statz")
+        assert status == 200
+        assert statz["backends"].get("sqlite", 0) >= 1
+        request(server, "DELETE", f"/v1/sessions/{data['session']}")
+
+    def test_invalid_backend_is_400(self, server):
+        status, data = request(
+            server,
+            "POST",
+            "/v1/sessions",
+            {"tgds": CHAIN, "facts": "E(a,b)", "backend": "lmdb"},
+        )
+        assert status == 400
+        assert "invalid backend" in data["error"]
